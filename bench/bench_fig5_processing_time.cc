@@ -1,0 +1,63 @@
+// Figure 5: query-workload processing time versus the number of input
+// queries (log-log in the paper). SAM's cost is linear in n; PGM's grows as a
+// high-degree polynomial because the linear system's dimension grows with
+// the number of distinct literals. PGM points stop once a step exceeds the
+// per-point time budget, mirroring the paper's observation that it cannot
+// process more than a handful of constraints.
+
+#include "bench_common.h"
+#include "common/logging.h"
+#include "common/stopwatch.h"
+
+int main(int argc, char** argv) {
+  using namespace sam;
+  using namespace sam::bench;
+  const BenchConfig config = ParseArgs(argc, argv);
+  const double pgm_point_budget = config.paper_scale ? 120.0 : 10.0;
+
+  // One dataset pool large enough for the biggest sweep point.
+  const size_t max_queries = config.paper_scale ? 20000 : 4000;
+  auto setup_res = SetupCensus(config, max_queries);
+  SAM_CHECK(setup_res.ok()) << setup_res.status().ToString();
+  const SingleRelSetup setup = setup_res.MoveValue();
+  const int64_t table_size =
+      static_cast<int64_t>(setup.db->FindTable(setup.table)->num_rows());
+
+  std::printf("\n=== Figure 5: processing time vs #queries (Census) ===\n");
+  std::printf("%-8s%12s%16s%16s\n", "method", "queries", "seconds", "unknowns");
+
+  // PGM sweep: doubling until the budget is blown.
+  for (size_t n = 2; n <= max_queries; n *= 2) {
+    Workload slice(setup.train.begin(), setup.train.begin() + n);
+    std::map<std::string, int64_t> view_sizes;
+    view_sizes[setup.table] = table_size;
+    PgmOptions opts;
+    opts.time_budget_seconds = pgm_point_budget;
+    Stopwatch watch;
+    auto pgm = PgmModel::Fit(*setup.db, slice, setup.hints, view_sizes, opts);
+    const double secs = watch.ElapsedSeconds();
+    if (!pgm.ok()) {
+      std::printf("%-8s%12zu%16s  <- %s\n", "PGM", n, "(exceeded)",
+                  pgm.status().ToString().c_str());
+      break;
+    }
+    std::printf("%-8s%12zu%16.3f%16zu\n", "PGM", n, secs,
+                pgm.ValueOrDie()->total_cells());
+    std::fflush(stdout);
+    if (secs > pgm_point_budget) break;
+  }
+
+  // SAM sweep: fixed epochs, so time is linear in n.
+  for (size_t n = 256; n <= max_queries; n *= 2) {
+    Workload slice(setup.train.begin(), setup.train.begin() + n);
+    SamOptions options = DefaultSamOptions(config);
+    options.training.epochs = 4;  // Fixed pass count isolates the n-scaling.
+    Stopwatch watch;
+    auto sam = SamModel::Train(*setup.db, slice, setup.hints, table_size, options);
+    SAM_CHECK(sam.ok()) << sam.status().ToString();
+    std::printf("%-8s%12zu%16.3f%16zu\n", "SAM", n, watch.ElapsedSeconds(),
+                sam.ValueOrDie()->model()->num_parameters());
+    std::fflush(stdout);
+  }
+  return 0;
+}

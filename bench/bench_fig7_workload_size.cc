@@ -1,0 +1,47 @@
+// Figure 7: database-recovery quality versus the input workload size
+// (Census). More cardinality constraints carry more information about the
+// joint distribution, so both cross entropy and test-query Q-Error should
+// fall as the workload grows.
+
+#include "bench_common.h"
+#include "common/logging.h"
+#include "workload/generator.h"
+
+int main(int argc, char** argv) {
+  using namespace sam;
+  using namespace sam::bench;
+  const BenchConfig config = ParseArgs(argc, argv);
+  const size_t max_queries = config.paper_scale ? 20000 : 4000;
+  auto setup_res = SetupCensus(config, max_queries);
+  SAM_CHECK(setup_res.ok()) << setup_res.status().ToString();
+  const SingleRelSetup setup = setup_res.MoveValue();
+  const Table* orig = setup.db->FindTable("census");
+  const int64_t table_size = static_cast<int64_t>(orig->num_rows());
+
+  SingleRelationWorkloadOptions topts;
+  topts.num_queries = SizesFor(config).test_queries;
+  topts.seed = config.seed * 2003 + 11;
+  Workload test = GenerateSingleRelationWorkload(*setup.db, "census",
+                                                 *setup.exec, topts)
+                      .MoveValue();
+  test = RemoveDuplicateQueries(setup.train, test);
+
+  std::printf("\n=== Figure 7: recovery vs workload size (Census) ===\n");
+  std::printf("%12s%18s%18s\n", "queries", "cross_entropy", "mean_test_qerror");
+  for (size_t n = max_queries / 8; n <= max_queries; n *= 2) {
+    Workload slice(setup.train.begin(), setup.train.begin() + n);
+    auto sam = SamModel::Train(*setup.db, slice, setup.hints, table_size,
+                               DefaultSamOptions(config));
+    SAM_CHECK(sam.ok()) << sam.status().ToString();
+    auto gen = sam.ValueOrDie()->Generate();
+    SAM_CHECK(gen.ok()) << gen.status().ToString();
+    const Table* gen_table = gen.ValueOrDie().FindTable("census");
+    auto h = CrossEntropyBits(*orig, *gen_table, orig->ContentColumnNames());
+    SAM_CHECK(h.ok()) << h.status().ToString();
+    auto qe = EvaluateFidelity(gen.ValueOrDie(), test);
+    SAM_CHECK(qe.ok()) << qe.status().ToString();
+    std::printf("%12zu%18.2f%18.2f\n", n, h.ValueOrDie(), qe.ValueOrDie().mean);
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Micro benchmarks (google-benchmark) for the hot paths of the AR model and
+// the execution engine: conditional-distribution evaluation, FOJ sampling
+// throughput, DPS training steps, and cardinality evaluation.
+
+#include <benchmark/benchmark.h>
+
+#include "ar/dps_trainer.h"
+#include "ar/estimator.h"
+#include "ar/made.h"
+#include "common/logging.h"
+#include "datasets/datasets.h"
+#include "engine/executor.h"
+#include "sam/sam_model.h"
+#include "workload/generator.h"
+
+namespace sam {
+namespace {
+
+struct CensusFixture {
+  CensusFixture() {
+    db = std::make_unique<Database>(MakeCensusLike(4000, 7));
+    exec = Executor::Create(db.get()).MoveValue();
+    SingleRelationWorkloadOptions wopts;
+    wopts.num_queries = 256;
+    train = GenerateSingleRelationWorkload(*db, "census", *exec, wopts)
+                .MoveValue();
+    SchemaHints hints;
+    hints.numeric_columns = {"census.age", "census.education_num",
+                             "census.capital_gain", "census.capital_loss",
+                             "census.hours_per_week"};
+    hints.numeric_bounds["census.age"] = {17, 90};
+    hints.numeric_bounds["census.education_num"] = {1, 16};
+    hints.numeric_bounds["census.capital_gain"] = {0, 61000};
+    hints.numeric_bounds["census.capital_loss"] = {0, 10000};
+    hints.numeric_bounds["census.hours_per_week"] = {1, 99};
+    schema = std::make_unique<ModelSchema>(
+        ModelSchema::Build(*db, train, hints, 4000).MoveValue());
+    MadeModel::Options mopts;
+    mopts.hidden_sizes = {64, 64};
+    model = std::make_unique<MadeModel>(schema.get(), mopts);
+    model->SyncSamplerWeights();
+  }
+
+  std::unique_ptr<Database> db;
+  std::unique_ptr<Executor> exec;
+  Workload train;
+  std::unique_ptr<ModelSchema> schema;
+  std::unique_ptr<MadeModel> model;
+};
+
+CensusFixture& Fixture() {
+  static CensusFixture* fixture = new CensusFixture();
+  return *fixture;
+}
+
+void BM_MadeCondProbs(benchmark::State& state) {
+  auto& f = Fixture();
+  const size_t batch = static_cast<size_t>(state.range(0));
+  MadeModel::SamplerState s = f.model->InitState(batch);
+  for (auto _ : state) {
+    const Matrix probs = f.model->CondProbs(s, 0);
+    benchmark::DoNotOptimize(probs.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(batch));
+}
+BENCHMARK(BM_MadeCondProbs)->Arg(64)->Arg(512)->Arg(2048);
+
+void BM_MadeObserve(benchmark::State& state) {
+  auto& f = Fixture();
+  const size_t batch = static_cast<size_t>(state.range(0));
+  MadeModel::SamplerState s = f.model->InitState(batch);
+  const std::vector<int32_t> codes(batch, 0);
+  for (auto _ : state) {
+    f.model->Observe(&s, 0, codes);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(batch));
+}
+BENCHMARK(BM_MadeObserve)->Arg(512);
+
+void BM_ProgressiveEstimate(benchmark::State& state) {
+  auto& f = Fixture();
+  ProgressiveEstimator est(f.model.get(), static_cast<size_t>(state.range(0)));
+  size_t q = 0;
+  for (auto _ : state) {
+    auto card = est.EstimateCardinality(f.train[q % f.train.size()]);
+    SAM_CHECK(card.ok());
+    benchmark::DoNotOptimize(card.ValueOrDie());
+    ++q;
+  }
+}
+BENCHMARK(BM_ProgressiveEstimate)->Arg(64)->Arg(256);
+
+void BM_DpsTrainStep(benchmark::State& state) {
+  auto& f = Fixture();
+  MadeModel::Options mopts;
+  mopts.hidden_sizes = {64, 64};
+  MadeModel model(f.schema.get(), mopts);
+  DpsOptions dopts;
+  dopts.epochs = 1;
+  dopts.batch_size = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    auto stats = TrainDps(&model, f.train, dopts);
+    SAM_CHECK(stats.ok());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(f.train.size()));
+}
+BENCHMARK(BM_DpsTrainStep)->Arg(64)->Unit(benchmark::kMillisecond);
+
+void BM_ExecutorCardinality(benchmark::State& state) {
+  auto& f = Fixture();
+  size_t q = 0;
+  for (auto _ : state) {
+    auto card = f.exec->Cardinality(f.train[q % f.train.size()]);
+    SAM_CHECK(card.ok());
+    benchmark::DoNotOptimize(card.ValueOrDie());
+    ++q;
+  }
+}
+BENCHMARK(BM_ExecutorCardinality);
+
+}  // namespace
+}  // namespace sam
+
+BENCHMARK_MAIN();

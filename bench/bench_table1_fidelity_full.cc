@@ -1,0 +1,54 @@
+// Table 1: Q-Error of input queries, full-scale workloads (Census, DMV).
+// Only SAM can process workloads of this size; PGM appears in Table 2.
+
+#include "bench_common.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "common/stopwatch.h"
+
+namespace sam::bench {
+namespace {
+
+void RunDataset(const BenchConfig& config, const char* name,
+                Result<SingleRelSetup> setup_res) {
+  SAM_CHECK(setup_res.ok()) << setup_res.status().ToString();
+  SingleRelSetup setup = setup_res.MoveValue();
+  PrintKv(std::string(name) + " rows",
+          std::to_string(setup.db->FindTable(setup.table)->num_rows()));
+  PrintKv(std::string(name) + " input queries", std::to_string(setup.train.size()));
+
+  SamOptions options = DefaultSamOptions(config);
+  Stopwatch watch;
+  auto sam = SamModel::Train(
+      *setup.db, setup.train, setup.hints,
+      static_cast<int64_t>(setup.db->FindTable(setup.table)->num_rows()), options);
+  SAM_CHECK(sam.ok()) << sam.status().ToString();
+  PrintKv(std::string(name) + " SAM training seconds",
+          FormatMetric(watch.ElapsedSeconds()));
+
+  watch.Reset();
+  auto gen = sam.ValueOrDie()->Generate();
+  SAM_CHECK(gen.ok()) << gen.status().ToString();
+  PrintKv(std::string(name) + " SAM generation seconds",
+          FormatMetric(watch.ElapsedSeconds()));
+
+  const Workload eval = SampleQueries(setup.train, 1000, config.seed + 17);
+  auto qe = EvaluateFidelity(gen.ValueOrDie(), eval);
+  SAM_CHECK(qe.ok()) << qe.status().ToString();
+  PrintHeader(std::string("Table 1 (") + name +
+                  "): Q-Error of input queries - full scale",
+              {"Median", "75th", "90th", "Mean"});
+  PrintRow("SAM", qe.ValueOrDie(), /*with_max=*/false);
+}
+
+}  // namespace
+}  // namespace sam::bench
+
+int main(int argc, char** argv) {
+  using namespace sam::bench;
+  const BenchConfig config = ParseArgs(argc, argv);
+  const DatasetSizes sizes = SizesFor(config);
+  RunDataset(config, "Census", SetupCensus(config, sizes.train_queries_single));
+  RunDataset(config, "DMV", SetupDmv(config, sizes.train_queries_single));
+  return 0;
+}

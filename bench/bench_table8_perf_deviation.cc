@@ -1,0 +1,66 @@
+// Table 8: Performance deviation (ms) of test queries on Census & DMV —
+// |query latency on the synthetic DB - latency on the original DB| per query,
+// measured on this repo's execution engine (the paper uses PostgreSQL 12;
+// see DESIGN.md for the substitution).
+
+#include "bench_common.h"
+#include "common/logging.h"
+#include "workload/generator.h"
+
+namespace sam::bench {
+namespace {
+
+void RunDataset(const BenchConfig& config, const char* name,
+                Result<SingleRelSetup> setup_res, size_t pgm_queries) {
+  SAM_CHECK(setup_res.ok()) << setup_res.status().ToString();
+  SingleRelSetup setup = setup_res.MoveValue();
+  const int64_t table_size =
+      static_cast<int64_t>(setup.db->FindTable(setup.table)->num_rows());
+
+  SingleRelationWorkloadOptions topts;
+  topts.num_queries = 100;
+  topts.seed = config.seed * 1013 + 9;
+  Workload test = GenerateSingleRelationWorkload(*setup.db, setup.table,
+                                                 *setup.exec, topts)
+                      .MoveValue();
+  test = RemoveDuplicateQueries(setup.train, test);
+
+  Workload pgm_train(setup.train.begin(), setup.train.begin() + pgm_queries);
+  std::map<std::string, int64_t> view_sizes;
+  view_sizes[setup.table] = table_size;
+  auto pgm = PgmModel::Fit(*setup.db, pgm_train, setup.hints, view_sizes,
+                           PgmOptions{});
+  SAM_CHECK(pgm.ok()) << pgm.status().ToString();
+  auto pgm_gen = pgm.ValueOrDie()->Generate();
+  SAM_CHECK(pgm_gen.ok()) << pgm_gen.status().ToString();
+
+  auto sam = SamModel::Train(*setup.db, setup.train, setup.hints, table_size,
+                             DefaultSamOptions(config));
+  SAM_CHECK(sam.ok()) << sam.status().ToString();
+  auto sam_gen = sam.ValueOrDie()->Generate();
+  SAM_CHECK(sam_gen.ok()) << sam_gen.status().ToString();
+
+  auto pgm_exec = Executor::Create(&pgm_gen.ValueOrDie()).MoveValue();
+  auto sam_exec = Executor::Create(&sam_gen.ValueOrDie()).MoveValue();
+  auto pgm_dev = PerformanceDeviationMs(*setup.exec, *pgm_exec, test, 5);
+  auto sam_dev = PerformanceDeviationMs(*setup.exec, *sam_exec, test, 5);
+  SAM_CHECK(pgm_dev.ok() && sam_dev.ok());
+
+  PrintHeader(std::string("Table 8 (") + name +
+                  "): Performance deviation of test queries (ms)",
+              {"Median", "75th", "90th", "Mean"});
+  PrintRow("PGM", pgm_dev.ValueOrDie(), /*with_max=*/false);
+  PrintRow("SAM", sam_dev.ValueOrDie(), /*with_max=*/false);
+}
+
+}  // namespace
+}  // namespace sam::bench
+
+int main(int argc, char** argv) {
+  using namespace sam::bench;
+  const BenchConfig config = ParseArgs(argc, argv);
+  const DatasetSizes sizes = SizesFor(config);
+  RunDataset(config, "Census", SetupCensus(config, sizes.train_queries_single), 12);
+  RunDataset(config, "DMV", SetupDmv(config, sizes.train_queries_single), 7);
+  return 0;
+}

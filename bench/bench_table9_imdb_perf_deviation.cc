@@ -1,0 +1,50 @@
+// Table 9: Performance deviation (ms) of the JOB-light workload on IMDB —
+// PGM versus SAM, measured on this repo's hash-join execution engine.
+
+#include "bench_common.h"
+#include "common/logging.h"
+#include "workload/generator.h"
+
+int main(int argc, char** argv) {
+  using namespace sam;
+  using namespace sam::bench;
+  const BenchConfig config = ParseArgs(argc, argv);
+  const DatasetSizes sizes = SizesFor(config);
+  auto setup_res = SetupImdb(config, sizes.train_queries_multi);
+  SAM_CHECK(setup_res.ok()) << setup_res.status().ToString();
+  const MultiRelSetup setup = setup_res.MoveValue();
+
+  JobLightWorkloadOptions jopts;
+  jopts.num_queries = 70;
+  jopts.seed = config.seed * 1019 + 10;
+  Workload test =
+      GenerateJobLightWorkload(*setup.db, *setup.exec, jopts).MoveValue();
+
+  Workload pgm_train(setup.train.begin(),
+                     setup.train.begin() + std::min<size_t>(400, setup.train.size()));
+  auto view_sizes = ViewSizesFor(*setup.exec, pgm_train);
+  SAM_CHECK(view_sizes.ok()) << view_sizes.status().ToString();
+  auto pgm = PgmModel::Fit(*setup.db, pgm_train, setup.hints,
+                           view_sizes.ValueOrDie(), PgmOptions{});
+  SAM_CHECK(pgm.ok()) << pgm.status().ToString();
+  auto pgm_gen = pgm.ValueOrDie()->Generate();
+  SAM_CHECK(pgm_gen.ok()) << pgm_gen.status().ToString();
+
+  auto sam = SamModel::Train(*setup.db, setup.train, setup.hints,
+                             setup.foj_size, ImdbSamOptions(config));
+  SAM_CHECK(sam.ok()) << sam.status().ToString();
+  auto sam_gen = sam.ValueOrDie()->Generate();
+  SAM_CHECK(sam_gen.ok()) << sam_gen.status().ToString();
+
+  auto pgm_exec = Executor::Create(&pgm_gen.ValueOrDie()).MoveValue();
+  auto sam_exec = Executor::Create(&sam_gen.ValueOrDie()).MoveValue();
+  auto pgm_dev = PerformanceDeviationMs(*setup.exec, *pgm_exec, test, 5);
+  auto sam_dev = PerformanceDeviationMs(*setup.exec, *sam_exec, test, 5);
+  SAM_CHECK(pgm_dev.ok() && sam_dev.ok());
+
+  PrintHeader("Table 9: Performance deviation of JOB-light on IMDB (ms)",
+              {"Median", "75th", "90th", "Mean", "Max"});
+  PrintRow("PGM", pgm_dev.ValueOrDie(), /*with_max=*/true);
+  PrintRow("SAM", sam_dev.ValueOrDie(), /*with_max=*/true);
+  return 0;
+}

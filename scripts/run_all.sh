@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Builds the project, runs the full test suite, every experiment harness and
+# the examples, recording test_output.txt and bench_output.txt at the repo
+# root (the artifacts EXPERIMENTS.md refers to).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+{
+  for b in build/bench/*; do
+    [ -x "$b" ] || continue
+    echo "### $b"
+    "$b"
+    echo
+  done
+} 2>&1 | tee bench_output.txt
+
+for e in build/examples/*; do
+  [ -x "$e" ] || continue
+  echo "--- $e"
+  "$e"
+done

@@ -1,0 +1,204 @@
+#include "ar/dps_trainer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "autodiff/adam.h"
+#include "autodiff/ops.h"
+#include "common/logging.h"
+#include "common/stopwatch.h"
+
+namespace sam {
+
+using ad::Tensor;
+
+namespace {
+
+constexpr double kMaskedLogit = -1e9;
+
+/// Builds the B x D mask constant for one column from the compiled queries of
+/// the batch; `rows` maps batch row -> query index (paths replicate rows).
+/// Returns an all-ones mask tensor when no query constrains the column.
+struct ColumnMasks {
+  bool constrained = false;
+  Matrix allow;     ///< 1/0 mask, B x D.
+  Matrix log_mask;  ///< 0 or kMaskedLogit, B x D.
+};
+
+ColumnMasks BuildColumnMasks(const std::vector<const CompiledQuery*>& queries,
+                             const std::vector<size_t>& rows, size_t col,
+                             size_t domain) {
+  ColumnMasks out;
+  for (const CompiledQuery* q : queries) {
+    if (!q->allow[col].empty()) {
+      out.constrained = true;
+      break;
+    }
+  }
+  if (!out.constrained) return out;
+  const size_t batch = rows.size();
+  out.allow = Matrix(batch, domain, 1.0);
+  out.log_mask = Matrix(batch, domain, 0.0);
+  for (size_t r = 0; r < batch; ++r) {
+    const auto& allow = queries[rows[r]]->allow[col];
+    if (allow.empty()) continue;
+    bool any = false;
+    for (size_t j = 0; j < domain; ++j) {
+      if (!allow[j]) {
+        out.allow(r, j) = 0.0;
+        out.log_mask(r, j) = kMaskedLogit;
+      } else {
+        any = true;
+      }
+    }
+    if (!any) {
+      // Degenerate empty range (possible for unseen literals): fall back to
+      // an unconstrained row so sampling stays well-defined; the in-range
+      // probability of 0 is still recorded through `allow`.
+      for (size_t j = 0; j < domain; ++j) out.log_mask(r, j) = 0.0;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<DpsEpochStats>> TrainDps(MadeModel* model,
+                                            const Workload& train,
+                                            const DpsOptions& options,
+                                            const DpsCallback& callback) {
+  if (train.empty()) return Status::InvalidArgument("empty training workload");
+  const ModelSchema& schema = model->schema();
+  const size_t n_cols = schema.num_columns();
+
+  // Compile every query once.
+  std::vector<CompiledQuery> compiled;
+  compiled.reserve(train.size());
+  for (const auto& q : train) {
+    SAM_ASSIGN_OR_RETURN(CompiledQuery cq, schema.Compile(q));
+    compiled.push_back(std::move(cq));
+  }
+
+  ad::AdamOptimizer::Options adam_opts;
+  adam_opts.lr = options.learning_rate;
+  adam_opts.clip_norm = options.clip_norm;
+  ad::AdamOptimizer adam(model->params(), adam_opts);
+
+  Rng rng(options.seed);
+  const double log_total = std::log(static_cast<double>(
+      std::max<int64_t>(schema.foj_size(), 1)));
+
+  std::vector<size_t> order(train.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  std::vector<DpsEpochStats> stats;
+  Stopwatch budget_watch;
+  bool out_of_budget = false;
+  for (size_t epoch = 0; epoch < options.epochs && !out_of_budget; ++epoch) {
+    // Temperature annealing (geometric) and learning-rate decay.
+    double tau = options.gumbel_tau;
+    if (options.gumbel_tau_final > 0 && options.epochs > 1) {
+      const double t = static_cast<double>(epoch) /
+                       static_cast<double>(options.epochs - 1);
+      tau = options.gumbel_tau *
+            std::pow(options.gumbel_tau_final / options.gumbel_tau, t);
+    }
+    if (epoch > 0 && options.lr_decay != 1.0) {
+      adam.set_lr(adam.options().lr * options.lr_decay);
+    }
+    rng.Shuffle(&order);
+    double loss_sum = 0;
+    size_t loss_count = 0;
+    size_t processed = 0;
+    for (size_t start = 0; start < order.size();
+         start += options.batch_size) {
+      if (options.time_budget_seconds > 0 &&
+          budget_watch.ElapsedSeconds() > options.time_budget_seconds) {
+        out_of_budget = true;
+        break;
+      }
+      const size_t q_in_batch = std::min(options.batch_size, order.size() - start);
+      // Replicate each query `sample_paths` times as batch rows.
+      std::vector<const CompiledQuery*> queries(q_in_batch);
+      for (size_t i = 0; i < q_in_batch; ++i) {
+        queries[i] = &compiled[order[start + i]];
+      }
+      const size_t batch = q_in_batch * options.sample_paths;
+      std::vector<size_t> row_query(batch);
+      for (size_t r = 0; r < batch; ++r) row_query[r] = r / options.sample_paths;
+
+      // ---- Forward: progressive sampling with straight-through samples.
+      const MadeModel::MaskedWeights mw = model->BuildMaskedWeights();
+      Tensor input = Tensor::Zeros(batch, schema.total_domain());
+      Matrix log_est_init(batch, 1, log_total);
+      Tensor log_est = Tensor::Constant(std::move(log_est_init));
+
+      for (size_t col = 0; col < n_cols; ++col) {
+        const ModelColumn& mc = schema.columns()[col];
+        Tensor hidden = model->Hidden(mw, input);
+        Tensor logits = model->ColumnLogits(mw, hidden, input, col);
+        const ColumnMasks masks =
+            BuildColumnMasks(queries, row_query, col, mc.domain_size);
+
+        Tensor masked_logits = logits;
+        if (masks.constrained) {
+          // In-range probability contributes to the cardinality estimate.
+          Tensor probs = ad::Softmax(logits);
+          Tensor p_in = ad::RowSum(ad::Mul(probs, Tensor::Constant(masks.allow)));
+          log_est = ad::Add(log_est, ad::LogEps(p_in, 1e-20));
+          masked_logits = ad::Add(logits, Tensor::Constant(masks.log_mask));
+        }
+        Tensor sample = ad::GumbelSoftmaxST(masked_logits, tau, &rng);
+
+        if (mc.kind == ModelColumnKind::kFanout) {
+          // Fanout scaling: rows whose query excludes this relation multiply
+          // the estimate by 1/F (log-space: -log F of the sampled value).
+          Matrix neg_log_f(batch, mc.domain_size, 0.0);
+          bool any = false;
+          for (size_t r = 0; r < batch; ++r) {
+            if (!queries[row_query[r]]->scale_fanout[col]) continue;
+            any = true;
+            for (size_t j = 0; j < mc.domain_size; ++j) {
+              neg_log_f(r, j) =
+                  -std::log(static_cast<double>(mc.FanoutValueOf(
+                      static_cast<int32_t>(j))));
+            }
+          }
+          if (any) {
+            Tensor contrib =
+                ad::RowSum(ad::Mul(sample, Tensor::Constant(std::move(neg_log_f))));
+            log_est = ad::Add(log_est, contrib);
+          }
+        }
+        input = ad::Add(input, ad::PadColumns(sample, mc.offset, schema.total_domain()));
+      }
+
+      // ---- Loss: mean squared log-cardinality error.
+      Matrix target(batch, 1);
+      for (size_t r = 0; r < batch; ++r) {
+        target(r, 0) = queries[row_query[r]]->log_card;
+      }
+      Tensor diff = ad::Sub(log_est, Tensor::Constant(std::move(target)));
+      Tensor loss = ad::MeanAll(ad::Mul(diff, diff));
+
+      adam.ZeroGrad();
+      loss.Backward();
+      adam.Step();
+
+      loss_sum += loss.value()(0, 0);
+      ++loss_count;
+      processed += q_in_batch;
+    }
+    DpsEpochStats es;
+    es.epoch = epoch;
+    es.mean_loss = loss_count > 0 ? loss_sum / static_cast<double>(loss_count) : 0;
+    es.seconds_elapsed = budget_watch.ElapsedSeconds();
+    es.queries_processed = processed;
+    if (callback) callback(es);
+    stats.push_back(es);
+  }
+  model->SyncSamplerWeights();
+  return stats;
+}
+
+}  // namespace sam

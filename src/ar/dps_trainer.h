@@ -1,0 +1,60 @@
+#pragma once
+
+#include <functional>
+
+#include "ar/made.h"
+#include "ar/model_schema.h"
+#include "common/result.h"
+
+namespace sam {
+
+/// \brief Options for Differentiable Progressive Sampling training (§4.1).
+struct DpsOptions {
+  size_t epochs = 10;
+  size_t batch_size = 64;
+  /// Sample paths per query per step; each path is one Gumbel-Softmax
+  /// trajectory through the AR model.
+  size_t sample_paths = 2;
+  double learning_rate = 2e-3;
+  /// Multiplicative learning-rate decay applied after each epoch (1 = none).
+  double lr_decay = 1.0;
+  double gumbel_tau = 1.0;
+  /// When > 0, the Gumbel-Softmax temperature is annealed geometrically from
+  /// `gumbel_tau` to `gumbel_tau_final` across the epochs — sharper samples
+  /// late in training reduce the straight-through bias (one of the DPS
+  /// improvements the paper lists as future work, §7).
+  double gumbel_tau_final = 0;
+  double clip_norm = 5.0;
+  uint64_t seed = 777;
+  /// Optional wall-clock budget in seconds (0 = unlimited). Mirrors the
+  /// paper's fixed-time-frame protocol (§5.1): training stops mid-epoch when
+  /// the budget is exhausted.
+  double time_budget_seconds = 0;
+};
+
+/// \brief Progress report per epoch.
+struct DpsEpochStats {
+  size_t epoch = 0;
+  double mean_loss = 0;      ///< Mean squared log-cardinality error.
+  double seconds_elapsed = 0;
+  size_t queries_processed = 0;
+};
+
+using DpsCallback = std::function<void(const DpsEpochStats&)>;
+
+/// \brief Trains `model` from the labelled workload with DPS.
+///
+/// Each step runs progressive sampling through the AR model with
+/// Gumbel-Softmax straight-through samples, forms the predicted
+/// log-cardinality
+///   log|FOJ| + sum_i log P(X_i in R_i | x_<i) + sum log(1/F) (fanout scaling)
+/// and minimises the squared error against log Card(q) — a smooth,
+/// monotone-equivalent surrogate of the Q-Error objective in the paper.
+///
+/// Returns per-epoch stats; the model's sampler weights are synced on return.
+Result<std::vector<DpsEpochStats>> TrainDps(MadeModel* model,
+                                            const Workload& train,
+                                            const DpsOptions& options,
+                                            const DpsCallback& callback = {});
+
+}  // namespace sam

@@ -1,0 +1,75 @@
+#include "ar/estimator.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace sam {
+
+Result<double> ProgressiveEstimator::EstimateCardinality(const Query& q) {
+  SAM_ASSIGN_OR_RETURN(CompiledQuery cq, model_->schema().Compile(q));
+  return EstimateCompiled(cq);
+}
+
+double ProgressiveEstimator::EstimateCompiled(const CompiledQuery& cq) {
+  const ModelSchema& schema = model_->schema();
+  const size_t n_cols = schema.num_columns();
+  const size_t batch = paths_;
+
+  MadeModel::SamplerState state = model_->InitState(batch);
+  std::vector<double> path_sel(batch, 1.0);
+  std::vector<int32_t> codes(batch);
+  std::vector<double> weights;
+
+  for (size_t col = 0; col < n_cols; ++col) {
+    const ModelColumn& mc = schema.columns()[col];
+    const Matrix probs = model_->CondProbs(state, col);
+    const auto& allow = cq.allow[col];
+    const bool constrained = !allow.empty();
+    for (size_t r = 0; r < batch; ++r) {
+      const double* pr = probs.row(r);
+      if (constrained) {
+        double p_in = 0.0;
+        for (size_t j = 0; j < mc.domain_size; ++j) {
+          if (allow[j]) p_in += pr[j];
+        }
+        path_sel[r] *= p_in;
+        // Sample an in-range value proportionally to the conditional; if the
+        // in-range mass is zero the path is dead (selectivity 0) and any
+        // in-range value keeps the trajectory well-defined.
+        weights.assign(mc.domain_size, 0.0);
+        bool any = false;
+        for (size_t j = 0; j < mc.domain_size; ++j) {
+          if (allow[j]) {
+            weights[j] = pr[j];
+            any = any || pr[j] > 0.0;
+          }
+        }
+        if (!any) {
+          for (size_t j = 0; j < mc.domain_size; ++j) {
+            weights[j] = allow[j] ? 1.0 : 0.0;
+          }
+        }
+        int64_t pick = rng_.Categorical(weights);
+        if (pick < 0) pick = 0;  // Fully-empty mask: arbitrary placeholder.
+        codes[r] = static_cast<int32_t>(pick);
+      } else {
+        weights.assign(pr, pr + mc.domain_size);
+        int64_t pick = rng_.Categorical(weights);
+        if (pick < 0) pick = 0;
+        codes[r] = static_cast<int32_t>(pick);
+      }
+      if (mc.kind == ModelColumnKind::kFanout && cq.scale_fanout[col]) {
+        path_sel[r] /= static_cast<double>(mc.FanoutValueOf(codes[r]));
+      }
+    }
+    model_->Observe(&state, col, codes);
+  }
+
+  double mean_sel = 0.0;
+  for (double s : path_sel) mean_sel += s;
+  mean_sel /= static_cast<double>(batch);
+  return mean_sel * static_cast<double>(schema.foj_size());
+}
+
+}  // namespace sam

@@ -1,0 +1,35 @@
+#pragma once
+
+#include "ar/made.h"
+#include "ar/model_schema.h"
+#include "common/result.h"
+
+namespace sam {
+
+/// \brief Progressive-sampling cardinality estimator over a trained MADE
+/// model (Yang et al.'s progressive sampling with NeuroCard fanout scaling,
+/// as used by SAM at inference; §4.1).
+///
+/// Runs `paths` Monte-Carlo trajectories: at each constrained column the
+/// in-range probability multiplies the path's selectivity and an in-range
+/// value is sampled; fanout columns of relations outside the query divide by
+/// the sampled fanout. The estimate is |FOJ| times the mean path selectivity.
+class ProgressiveEstimator {
+ public:
+  ProgressiveEstimator(const MadeModel* model, size_t paths = 200,
+                       uint64_t seed = 4242)
+      : model_(model), paths_(paths), rng_(seed) {}
+
+  /// Estimated Card(q). The model's sampler weights must be synced.
+  Result<double> EstimateCardinality(const Query& q);
+
+  /// Estimate from a pre-compiled query (avoids recompilation in sweeps).
+  double EstimateCompiled(const CompiledQuery& cq);
+
+ private:
+  const MadeModel* model_;
+  size_t paths_;
+  Rng rng_;
+};
+
+}  // namespace sam

@@ -1,0 +1,356 @@
+#include "ar/made.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "autodiff/ops.h"
+#include "common/logging.h"
+
+namespace sam {
+
+using ad::Tensor;
+
+MadeModel::MadeModel(const ModelSchema* schema, Options options)
+    : schema_(schema), options_(std::move(options)) {
+  SAM_CHECK_GT(schema_->num_columns(), 0u);
+  SAM_CHECK(!options_.hidden_sizes.empty());
+  BuildMasks();
+  InitParams();
+}
+
+void MadeModel::BuildMasks() {
+  const auto& cols = schema_->columns();
+  const size_t n = cols.size();
+  const size_t d_in = schema_->total_domain();
+
+  // Per-unit degrees. Input unit of column i has degree i+1 (1-based column
+  // number); hidden degrees cycle over 1..n-1 so every conditional is
+  // representable; output unit of column i has degree i+1 and connects to
+  // hidden units with *strictly smaller* degree.
+  std::vector<size_t> in_degree(d_in);
+  for (size_t c = 0; c < n; ++c) {
+    for (size_t j = 0; j < cols[c].domain_size; ++j) {
+      in_degree[cols[c].offset + j] = c + 1;
+    }
+  }
+  const size_t max_deg = n > 1 ? n - 1 : 1;
+  hidden_degrees_.clear();
+  for (size_t hs : options_.hidden_sizes) {
+    std::vector<size_t> deg(hs);
+    for (size_t k = 0; k < hs; ++k) deg[k] = 1 + (k % max_deg);
+    hidden_degrees_.push_back(std::move(deg));
+  }
+
+  masks_.clear();
+  // Input -> hidden1: connect when hidden degree >= input degree.
+  {
+    const auto& hdeg = hidden_degrees_[0];
+    Matrix m(d_in, hdeg.size());
+    for (size_t i = 0; i < d_in; ++i) {
+      for (size_t h = 0; h < hdeg.size(); ++h) {
+        if (hdeg[h] >= in_degree[i]) m(i, h) = 1.0;
+      }
+    }
+    masks_.push_back(std::move(m));
+  }
+  // Hidden -> hidden: connect when next degree >= previous degree.
+  for (size_t l = 1; l < hidden_degrees_.size(); ++l) {
+    const auto& prev = hidden_degrees_[l - 1];
+    const auto& next = hidden_degrees_[l];
+    Matrix m(prev.size(), next.size());
+    for (size_t i = 0; i < prev.size(); ++i) {
+      for (size_t h = 0; h < next.size(); ++h) {
+        if (next[h] >= prev[i]) m(i, h) = 1.0;
+      }
+    }
+    masks_.push_back(std::move(m));
+  }
+  // Last hidden -> output: connect when output degree > hidden degree.
+  {
+    const auto& hdeg = hidden_degrees_.back();
+    mask_out_ = Matrix(hdeg.size(), d_in);
+    for (size_t h = 0; h < hdeg.size(); ++h) {
+      for (size_t c = 0; c < n; ++c) {
+        if (c + 1 > hdeg[h]) {
+          for (size_t j = 0; j < cols[c].domain_size; ++j) {
+            mask_out_(h, cols[c].offset + j) = 1.0;
+          }
+        }
+      }
+    }
+  }
+  // Direct input -> output connections: strictly earlier columns only.
+  if (options_.direct_connections) {
+    mask_direct_ = Matrix(d_in, d_in);
+    for (size_t ci = 0; ci < n; ++ci) {
+      for (size_t co = 0; co < n; ++co) {
+        if (co > ci) {
+          for (size_t j = 0; j < cols[ci].domain_size; ++j) {
+            for (size_t k = 0; k < cols[co].domain_size; ++k) {
+              mask_direct_(cols[ci].offset + j, cols[co].offset + k) = 1.0;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void MadeModel::InitParams() {
+  Rng rng(options_.seed);
+  auto init = [&](size_t rows, size_t cols_n) {
+    Matrix m(rows, cols_n);
+    const double scale = options_.init_scale / std::sqrt(static_cast<double>(rows));
+    for (size_t i = 0; i < m.size(); ++i) m.data()[i] = rng.Normal() * scale;
+    return m;
+  };
+  const size_t d = schema_->total_domain();
+  weights_.clear();
+  biases_.clear();
+  size_t prev = d;
+  for (size_t hs : options_.hidden_sizes) {
+    weights_.push_back(Tensor::Param(init(prev, hs)));
+    biases_.push_back(Tensor::Param(Matrix(1, hs)));
+    prev = hs;
+  }
+  w_out_ = Tensor::Param(init(prev, d));
+  b_out_ = Tensor::Param(Matrix(1, d));
+  if (options_.direct_connections) {
+    w_direct_ = Tensor::Param(init(d, d));
+  }
+  sampler_synced_ = false;
+}
+
+std::vector<Tensor> MadeModel::params() const {
+  std::vector<Tensor> out;
+  for (const auto& w : weights_) out.push_back(w);
+  for (const auto& b : biases_) out.push_back(b);
+  out.push_back(w_out_);
+  out.push_back(b_out_);
+  if (options_.direct_connections) out.push_back(w_direct_);
+  return out;
+}
+
+size_t MadeModel::num_parameters() const {
+  size_t total = 0;
+  for (const auto& p : params()) total += p.value().size();
+  return total;
+}
+
+MadeModel::MaskedWeights MadeModel::BuildMaskedWeights() const {
+  MaskedWeights mw;
+  for (size_t l = 0; l < weights_.size(); ++l) {
+    mw.w.push_back(ad::Mul(weights_[l], Tensor::Constant(masks_[l])));
+  }
+  mw.w_out = ad::Mul(w_out_, Tensor::Constant(mask_out_));
+  if (options_.direct_connections) {
+    mw.w_direct = ad::Mul(w_direct_, Tensor::Constant(mask_direct_));
+  }
+  return mw;
+}
+
+Tensor MadeModel::Hidden(const MaskedWeights& mw, const Tensor& input) const {
+  Tensor h = input;
+  for (size_t l = 0; l < mw.w.size(); ++l) {
+    Tensor next = ad::Relu(ad::AddRowBroadcast(ad::Matmul(h, mw.w[l]), biases_[l]));
+    // Residual connections between equal-width hidden layers (ResMADE). The
+    // hidden-degree assignment is identical across layers, so the skip path
+    // preserves the autoregressive masking.
+    if (options_.residual && l > 0 && next.cols() == h.cols()) {
+      next = ad::Add(next, h);
+    }
+    h = next;
+  }
+  return h;
+}
+
+Tensor MadeModel::ColumnLogits(const MaskedWeights& mw, const Tensor& hidden,
+                               const Tensor& input, size_t col) const {
+  const ModelColumn& c = schema_->columns()[col];
+  const size_t b = c.offset;
+  const size_t e = c.offset + c.domain_size;
+  Tensor logits = ad::AddRowBroadcast(
+      ad::Matmul(hidden, ad::SliceColumns(mw.w_out, b, e)),
+      ad::SliceColumns(b_out_, b, e));
+  if (options_.direct_connections) {
+    logits = ad::Add(logits, ad::Matmul(input, ad::SliceColumns(mw.w_direct, b, e)));
+  }
+  return logits;
+}
+
+void MadeModel::SyncSamplerWeights() {
+  cached_w_.clear();
+  for (size_t l = 0; l < weights_.size(); ++l) {
+    Matrix m = weights_[l].value();
+    const Matrix& mask = masks_[l];
+    for (size_t i = 0; i < m.size(); ++i) m.data()[i] *= mask.data()[i];
+    cached_w_.push_back(std::move(m));
+  }
+  cached_w_out_ = w_out_.value();
+  for (size_t i = 0; i < cached_w_out_.size(); ++i) {
+    cached_w_out_.data()[i] *= mask_out_.data()[i];
+  }
+  if (options_.direct_connections) {
+    cached_w_direct_ = w_direct_.value();
+    for (size_t i = 0; i < cached_w_direct_.size(); ++i) {
+      cached_w_direct_.data()[i] *= mask_direct_.data()[i];
+    }
+  }
+  sampler_synced_ = true;
+}
+
+MadeModel::SamplerState MadeModel::InitState(size_t batch) const {
+  SAM_CHECK(sampler_synced_) << "call SyncSamplerWeights() before sampling";
+  SamplerState s;
+  s.batch = batch;
+  const size_t h1 = options_.hidden_sizes[0];
+  s.pre1 = Matrix(batch, h1);
+  const double* bias = biases_[0].value().data();
+  for (size_t r = 0; r < batch; ++r) {
+    std::copy(bias, bias + h1, s.pre1.row(r));
+  }
+  if (options_.direct_connections) {
+    s.direct = Matrix(batch, schema_->total_domain());
+  }
+  return s;
+}
+
+Matrix MadeModel::CondProbs(const SamplerState& state, size_t col) const {
+  SAM_CHECK(sampler_synced_);
+  const size_t batch = state.batch;
+  // Hidden stack from the accumulated first-layer pre-activation.
+  Matrix h(batch, options_.hidden_sizes[0]);
+  for (size_t i = 0; i < h.size(); ++i) {
+    h.data()[i] = std::max(0.0, state.pre1.data()[i]);
+  }
+  for (size_t l = 1; l < cached_w_.size(); ++l) {
+    Matrix next = Matrix::Multiply(h, cached_w_[l]);
+    const double* bias = biases_[l].value().data();
+    const bool skip = options_.residual && next.cols() == h.cols();
+    for (size_t r = 0; r < batch; ++r) {
+      double* row = next.row(r);
+      const double* prev = h.row(r);
+      for (size_t c = 0; c < next.cols(); ++c) {
+        row[c] = std::max(0.0, row[c] + bias[c]);
+        if (skip) row[c] += prev[c];
+      }
+    }
+    h = std::move(next);
+  }
+  const ModelColumn& mc = schema_->columns()[col];
+  const size_t off = mc.offset;
+  const size_t d = mc.domain_size;
+  Matrix logits(batch, d);
+  // Output slice: logits = h * W_out[:, off:off+d] + b_out[off:off+d] (+ direct).
+  const double* b_out = b_out_.value().data();
+  for (size_t r = 0; r < batch; ++r) {
+    const double* hr = h.row(r);
+    double* lr = logits.row(r);
+    for (size_t j = 0; j < d; ++j) lr[j] = b_out[off + j];
+    for (size_t k = 0; k < h.cols(); ++k) {
+      const double hv = hr[k];
+      if (hv == 0.0) continue;
+      const double* wrow = cached_w_out_.row(k) + off;
+      for (size_t j = 0; j < d; ++j) lr[j] += hv * wrow[j];
+    }
+    if (options_.direct_connections) {
+      const double* dr = state.direct.row(r) + off;
+      for (size_t j = 0; j < d; ++j) lr[j] += dr[j];
+    }
+  }
+  // Row softmax.
+  for (size_t r = 0; r < batch; ++r) {
+    double* lr = logits.row(r);
+    double mx = lr[0];
+    for (size_t j = 1; j < d; ++j) mx = std::max(mx, lr[j]);
+    double sum = 0.0;
+    for (size_t j = 0; j < d; ++j) {
+      lr[j] = std::exp(lr[j] - mx);
+      sum += lr[j];
+    }
+    const double inv = 1.0 / sum;
+    for (size_t j = 0; j < d; ++j) lr[j] *= inv;
+  }
+  return logits;
+}
+
+void MadeModel::Observe(SamplerState* state, size_t col,
+                        const std::vector<int32_t>& codes) const {
+  SAM_CHECK(sampler_synced_);
+  SAM_CHECK_EQ(codes.size(), state->batch);
+  const ModelColumn& mc = schema_->columns()[col];
+  const size_t h1 = options_.hidden_sizes[0];
+  const size_t d_total = schema_->total_domain();
+  for (size_t r = 0; r < state->batch; ++r) {
+    const int32_t code = codes[r];
+    SAM_CHECK(code >= 0 && static_cast<size_t>(code) < mc.domain_size)
+        << "bad code " << code << " for column " << mc.name;
+    const size_t unit = mc.offset + static_cast<size_t>(code);
+    const double* w1_row = cached_w_[0].row(unit);
+    double* pre = state->pre1.row(r);
+    for (size_t k = 0; k < h1; ++k) pre[k] += w1_row[k];
+    if (options_.direct_connections) {
+      const double* wd_row = cached_w_direct_.row(unit);
+      double* dir = state->direct.row(r);
+      for (size_t k = 0; k < d_total; ++k) dir[k] += wd_row[k];
+    }
+  }
+}
+
+namespace {
+constexpr uint32_t kMagic = 0x53414d31;  // "SAM1"
+}
+
+Status MadeModel::Save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
+  auto write_u64 = [&](uint64_t v) {
+    out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  };
+  auto write_matrix = [&](const Matrix& m) {
+    write_u64(m.rows());
+    write_u64(m.cols());
+    out.write(reinterpret_cast<const char*>(m.data()),
+              static_cast<std::streamsize>(m.size() * sizeof(double)));
+  };
+  uint32_t magic = kMagic;
+  out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  const auto ps = params();
+  write_u64(ps.size());
+  for (const auto& p : ps) write_matrix(p.value());
+  if (!out) return Status::IOError("write failed for '" + path + "'");
+  return Status::OK();
+}
+
+Status MadeModel::Load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open '" + path + "'");
+  uint32_t magic = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  if (magic != kMagic) return Status::InvalidArgument("bad model file magic");
+  auto read_u64 = [&]() {
+    uint64_t v = 0;
+    in.read(reinterpret_cast<char*>(&v), sizeof(v));
+    return v;
+  };
+  const uint64_t count = read_u64();
+  auto ps = params();
+  if (count != ps.size()) {
+    return Status::InvalidArgument("model file parameter count mismatch");
+  }
+  for (auto& p : ps) {
+    const uint64_t rows = read_u64();
+    const uint64_t cols = read_u64();
+    if (rows != p.value().rows() || cols != p.value().cols()) {
+      return Status::InvalidArgument("model file shape mismatch");
+    }
+    in.read(reinterpret_cast<char*>(p.mutable_value().data()),
+            static_cast<std::streamsize>(rows * cols * sizeof(double)));
+  }
+  if (!in) return Status::IOError("truncated model file '" + path + "'");
+  sampler_synced_ = false;
+  return Status::OK();
+}
+
+}  // namespace sam

@@ -1,0 +1,130 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ar/model_schema.h"
+#include "autodiff/tensor.h"
+#include "common/random.h"
+#include "common/result.h"
+
+namespace sam {
+
+/// \brief MADE (Masked Autoencoder for Distribution Estimation) over the
+/// model schema's one-hot column layout.
+///
+/// The network maps a (partially filled) one-hot tuple encoding to per-column
+/// logits; binary masks on every weight matrix enforce the autoregressive
+/// property, so column i's logits depend only on columns < i (Germain et al.,
+/// cited by the paper as a SAM instantiation).
+///
+/// Two forward paths are provided:
+///  * a tape-recorded dense path (`MaskedWeights` + `Hidden` + `ColumnLogits`)
+///    used by the DPS trainer, and
+///  * an allocation-light sampler path (`InitState`/`CondProbs`/`Observe`)
+///    that exploits one-hot inputs (first layer and direct connections become
+///    row gathers) for progressive sampling, estimation and generation.
+class MadeModel {
+ public:
+  struct Options {
+    std::vector<size_t> hidden_sizes = {64, 64};
+    /// ResMADE-style residual connections between equal-width hidden layers
+    /// (used by NeuroCard, which the paper builds on). Helps deeper stacks
+    /// converge under DPS.
+    bool residual = false;
+    bool direct_connections = true;
+    double init_scale = 1.0;  ///< Multiplier on 1/sqrt(fan_in) init.
+    uint64_t seed = 12345;
+  };
+
+  MadeModel(const ModelSchema* schema, Options options);
+
+  const ModelSchema& schema() const { return *schema_; }
+  const Options& options() const { return options_; }
+
+  /// Trainable parameters (for the optimiser).
+  std::vector<ad::Tensor> params() const;
+
+  /// Number of scalar parameters (reported by the harnesses).
+  size_t num_parameters() const;
+
+  // --- Dense (training) path -------------------------------------------------
+
+  /// Masked weight tensors for one training step; build once per step and
+  /// reuse so gradients accumulate across the per-column passes.
+  struct MaskedWeights {
+    std::vector<ad::Tensor> w;   ///< Per layer (first is input layer).
+    ad::Tensor w_out;
+    ad::Tensor w_direct;         ///< Undefined when direct connections off.
+  };
+  MaskedWeights BuildMaskedWeights() const;
+
+  /// Last hidden activations for `input` (B x total_domain).
+  ad::Tensor Hidden(const MaskedWeights& mw, const ad::Tensor& input) const;
+
+  /// Logits of model column `col` (B x domain(col)) given the last hidden
+  /// layer and the (same) input used for direct connections.
+  ad::Tensor ColumnLogits(const MaskedWeights& mw, const ad::Tensor& hidden,
+                          const ad::Tensor& input, size_t col) const;
+
+  // --- Sampler (no-grad) path ------------------------------------------------
+
+  /// Refreshes the cached masked weight matrices used by the sampler path.
+  /// Call after training (the trainer does this automatically).
+  void SyncSamplerWeights();
+
+  /// Per-batch incremental state: first-layer pre-activations and direct
+  /// logits accumulate as columns are observed.
+  struct SamplerState {
+    Matrix pre1;           ///< B x H1 (bias included).
+    Matrix direct;         ///< B x total_domain (empty if disabled).
+    size_t batch = 0;
+  };
+
+  SamplerState InitState(size_t batch) const;
+
+  /// Conditional distribution P(col | observed prefix) for every batch row:
+  /// B x domain(col), rows sum to 1.
+  Matrix CondProbs(const SamplerState& state, size_t col) const;
+
+  /// Feeds the sampled codes of `col` into the state accumulators.
+  void Observe(SamplerState* state, size_t col,
+               const std::vector<int32_t>& codes) const;
+
+  // --- Persistence -----------------------------------------------------------
+
+  /// Saves/loads raw parameters (binary, versioned header).
+  Status Save(const std::string& path) const;
+  Status Load(const std::string& path);
+
+ private:
+  void BuildMasks();
+  void InitParams();
+
+  const ModelSchema* schema_;
+  Options options_;
+
+  /// Per-unit autoregressive degree of each hidden layer.
+  std::vector<std::vector<size_t>> hidden_degrees_;
+
+  // Parameters. weights_[0] is input->hidden1; weights_[k] hidden_k->k+1.
+  std::vector<ad::Tensor> weights_;
+  std::vector<ad::Tensor> biases_;
+  ad::Tensor w_out_;
+  ad::Tensor b_out_;
+  ad::Tensor w_direct_;
+
+  // Constant binary masks matching weights_ / w_out_ / w_direct_.
+  std::vector<Matrix> masks_;
+  Matrix mask_out_;
+  Matrix mask_direct_;
+
+  // Sampler cache: masked weight values.
+  std::vector<Matrix> cached_w_;
+  Matrix cached_w_out_;
+  Matrix cached_w_direct_;
+  bool sampler_synced_ = false;
+};
+
+}  // namespace sam

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <vector>
+
+#include "autodiff/tensor.h"
+
+namespace sam::ad {
+
+/// \brief Adam optimiser over a fixed set of parameter tensors.
+///
+/// Standard bias-corrected Adam (Kingma & Ba). The DPS trainer performs one
+/// `Step()` per query mini-batch.
+class AdamOptimizer {
+ public:
+  struct Options {
+    double lr = 1e-3;
+    double beta1 = 0.9;
+    double beta2 = 0.999;
+    double eps = 1e-8;
+    /// Optional global gradient-norm clip (0 disables). DPS losses can spike
+    /// on rare queries with tiny true cardinalities.
+    double clip_norm = 5.0;
+  };
+
+  AdamOptimizer(std::vector<Tensor> params, Options options);
+
+  /// Applies one update from the accumulated gradients.
+  void Step();
+
+  /// Clears every parameter's gradient buffer.
+  void ZeroGrad();
+
+  const Options& options() const { return options_; }
+  void set_lr(double lr) { options_.lr = lr; }
+
+ private:
+  std::vector<Tensor> params_;
+  std::vector<Matrix> m_;
+  std::vector<Matrix> v_;
+  Options options_;
+  int64_t t_ = 0;
+};
+
+}  // namespace sam::ad

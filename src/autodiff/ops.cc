@@ -1,0 +1,415 @@
+#include "autodiff/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace sam::ad {
+
+namespace {
+
+/// Creates the result node for an op, wiring parents and the backward
+/// closure unless a NoGradGuard is active or no parent needs gradients.
+Tensor MakeOp(Matrix value, std::vector<Tensor> parents,
+              std::function<void(TensorNode&)> backward, const char* name) {
+  auto node = std::make_shared<TensorNode>();
+  node->value = std::move(value);
+  node->op_name = name;
+  bool needs = false;
+  for (const auto& p : parents) needs = needs || p.requires_grad();
+  if (needs && !NoGradGuard::Active()) {
+    node->requires_grad = true;
+    node->parents.reserve(parents.size());
+    for (auto& p : parents) node->parents.push_back(p.node());
+    node->backward_fn = std::move(backward);
+  }
+  return Tensor(std::move(node));
+}
+
+void AccumulateInto(TensorNode* parent, const Matrix& g) {
+  if (!parent->requires_grad) return;
+  parent->EnsureGrad();
+  SAM_CHECK_EQ(parent->grad.size(), g.size());
+  double* dst = parent->grad.data();
+  const double* src = g.data();
+  for (size_t i = 0; i < g.size(); ++i) dst[i] += src[i];
+}
+
+}  // namespace
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  SAM_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  Matrix v = a.value();
+  const double* bv = b.value().data();
+  for (size_t i = 0; i < v.size(); ++i) v.data()[i] += bv[i];
+  return MakeOp(std::move(v), {a, b},
+                [](TensorNode& n) {
+                  AccumulateInto(n.parents[0].get(), n.grad);
+                  AccumulateInto(n.parents[1].get(), n.grad);
+                },
+                "add");
+}
+
+Tensor AddRowBroadcast(const Tensor& a, const Tensor& bias) {
+  SAM_CHECK_EQ(bias.rows(), 1u);
+  SAM_CHECK_EQ(a.cols(), bias.cols());
+  Matrix v = a.value();
+  const double* bv = bias.value().data();
+  for (size_t r = 0; r < v.rows(); ++r) {
+    double* row = v.row(r);
+    for (size_t c = 0; c < v.cols(); ++c) row[c] += bv[c];
+  }
+  return MakeOp(std::move(v), {a, bias},
+                [](TensorNode& n) {
+                  AccumulateInto(n.parents[0].get(), n.grad);
+                  TensorNode* bias_node = n.parents[1].get();
+                  if (bias_node->requires_grad) {
+                    bias_node->EnsureGrad();
+                    double* bg = bias_node->grad.data();
+                    for (size_t r = 0; r < n.grad.rows(); ++r) {
+                      const double* row = n.grad.row(r);
+                      for (size_t c = 0; c < n.grad.cols(); ++c) bg[c] += row[c];
+                    }
+                  }
+                },
+                "add_row_broadcast");
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  SAM_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  Matrix v = a.value();
+  const double* bv = b.value().data();
+  for (size_t i = 0; i < v.size(); ++i) v.data()[i] -= bv[i];
+  return MakeOp(std::move(v), {a, b},
+                [](TensorNode& n) {
+                  AccumulateInto(n.parents[0].get(), n.grad);
+                  TensorNode* b_node = n.parents[1].get();
+                  if (b_node->requires_grad) {
+                    b_node->EnsureGrad();
+                    double* dst = b_node->grad.data();
+                    const double* src = n.grad.data();
+                    for (size_t i = 0; i < n.grad.size(); ++i) dst[i] -= src[i];
+                  }
+                },
+                "sub");
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  SAM_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  Matrix v = a.value();
+  const double* bv = b.value().data();
+  for (size_t i = 0; i < v.size(); ++i) v.data()[i] *= bv[i];
+  return MakeOp(std::move(v), {a, b},
+                [](TensorNode& n) {
+                  TensorNode* an = n.parents[0].get();
+                  TensorNode* bn = n.parents[1].get();
+                  if (an->requires_grad) {
+                    an->EnsureGrad();
+                    double* dst = an->grad.data();
+                    const double* g = n.grad.data();
+                    const double* bv2 = bn->value.data();
+                    for (size_t i = 0; i < n.grad.size(); ++i) dst[i] += g[i] * bv2[i];
+                  }
+                  if (bn->requires_grad) {
+                    bn->EnsureGrad();
+                    double* dst = bn->grad.data();
+                    const double* g = n.grad.data();
+                    const double* av = an->value.data();
+                    for (size_t i = 0; i < n.grad.size(); ++i) dst[i] += g[i] * av[i];
+                  }
+                },
+                "mul");
+}
+
+Tensor Scale(const Tensor& a, double s) {
+  Matrix v = a.value();
+  for (size_t i = 0; i < v.size(); ++i) v.data()[i] *= s;
+  return MakeOp(std::move(v), {a},
+                [s](TensorNode& n) {
+                  TensorNode* an = n.parents[0].get();
+                  if (!an->requires_grad) return;
+                  an->EnsureGrad();
+                  double* dst = an->grad.data();
+                  const double* g = n.grad.data();
+                  for (size_t i = 0; i < n.grad.size(); ++i) dst[i] += g[i] * s;
+                },
+                "scale");
+}
+
+Tensor Matmul(const Tensor& a, const Tensor& b) {
+  Matrix v = Matrix::Multiply(a.value(), b.value());
+  return MakeOp(std::move(v), {a, b},
+                [](TensorNode& n) {
+                  TensorNode* an = n.parents[0].get();
+                  TensorNode* bn = n.parents[1].get();
+                  if (an->requires_grad) {
+                    // dA = dC * B^T
+                    Matrix da = Matrix::MultiplyTranspose(n.grad, bn->value);
+                    AccumulateInto(an, da);
+                  }
+                  if (bn->requires_grad) {
+                    // dB = A^T * dC
+                    Matrix db = Matrix::TransposeMultiply(an->value, n.grad);
+                    AccumulateInto(bn, db);
+                  }
+                },
+                "matmul");
+}
+
+Tensor Relu(const Tensor& a) {
+  Matrix v = a.value();
+  for (size_t i = 0; i < v.size(); ++i) v.data()[i] = std::max(0.0, v.data()[i]);
+  return MakeOp(std::move(v), {a},
+                [](TensorNode& n) {
+                  TensorNode* an = n.parents[0].get();
+                  if (!an->requires_grad) return;
+                  an->EnsureGrad();
+                  double* dst = an->grad.data();
+                  const double* g = n.grad.data();
+                  const double* out = n.value.data();
+                  for (size_t i = 0; i < n.grad.size(); ++i) {
+                    if (out[i] > 0.0) dst[i] += g[i];
+                  }
+                },
+                "relu");
+}
+
+Tensor Softmax(const Tensor& a) {
+  Matrix v = a.value();
+  for (size_t r = 0; r < v.rows(); ++r) {
+    double* row = v.row(r);
+    double mx = row[0];
+    for (size_t c = 1; c < v.cols(); ++c) mx = std::max(mx, row[c]);
+    double sum = 0.0;
+    for (size_t c = 0; c < v.cols(); ++c) {
+      row[c] = std::exp(row[c] - mx);
+      sum += row[c];
+    }
+    const double inv = 1.0 / sum;
+    for (size_t c = 0; c < v.cols(); ++c) row[c] *= inv;
+  }
+  return MakeOp(std::move(v), {a},
+                [](TensorNode& n) {
+                  TensorNode* an = n.parents[0].get();
+                  if (!an->requires_grad) return;
+                  an->EnsureGrad();
+                  // dx = y * (dy - sum(dy * y)) row-wise.
+                  for (size_t r = 0; r < n.grad.rows(); ++r) {
+                    const double* y = n.value.row(r);
+                    const double* dy = n.grad.row(r);
+                    double dot = 0.0;
+                    for (size_t c = 0; c < n.grad.cols(); ++c) dot += dy[c] * y[c];
+                    double* dx = an->grad.row(r);
+                    for (size_t c = 0; c < n.grad.cols(); ++c) {
+                      dx[c] += y[c] * (dy[c] - dot);
+                    }
+                  }
+                },
+                "softmax");
+}
+
+Tensor LogEps(const Tensor& a, double eps) {
+  Matrix v = a.value();
+  for (size_t i = 0; i < v.size(); ++i) v.data()[i] = std::log(std::max(v.data()[i], eps));
+  return MakeOp(std::move(v), {a},
+                [eps](TensorNode& n) {
+                  TensorNode* an = n.parents[0].get();
+                  if (!an->requires_grad) return;
+                  an->EnsureGrad();
+                  double* dst = an->grad.data();
+                  const double* g = n.grad.data();
+                  const double* x = an->value.data();
+                  for (size_t i = 0; i < n.grad.size(); ++i) {
+                    dst[i] += g[i] / std::max(x[i], eps);
+                  }
+                },
+                "log_eps");
+}
+
+Tensor RowSum(const Tensor& a) {
+  Matrix v(a.rows(), 1);
+  for (size_t r = 0; r < a.rows(); ++r) {
+    const double* row = a.value().row(r);
+    double acc = 0.0;
+    for (size_t c = 0; c < a.cols(); ++c) acc += row[c];
+    v(r, 0) = acc;
+  }
+  return MakeOp(std::move(v), {a},
+                [](TensorNode& n) {
+                  TensorNode* an = n.parents[0].get();
+                  if (!an->requires_grad) return;
+                  an->EnsureGrad();
+                  for (size_t r = 0; r < an->grad.rows(); ++r) {
+                    const double g = n.grad(r, 0);
+                    double* dst = an->grad.row(r);
+                    for (size_t c = 0; c < an->grad.cols(); ++c) dst[c] += g;
+                  }
+                },
+                "row_sum");
+}
+
+Tensor SumAll(const Tensor& a) {
+  Matrix v(1, 1);
+  double acc = 0.0;
+  for (size_t i = 0; i < a.value().size(); ++i) acc += a.value().data()[i];
+  v(0, 0) = acc;
+  return MakeOp(std::move(v), {a},
+                [](TensorNode& n) {
+                  TensorNode* an = n.parents[0].get();
+                  if (!an->requires_grad) return;
+                  an->EnsureGrad();
+                  const double g = n.grad(0, 0);
+                  double* dst = an->grad.data();
+                  for (size_t i = 0; i < an->grad.size(); ++i) dst[i] += g;
+                },
+                "sum_all");
+}
+
+Tensor MeanAll(const Tensor& a) {
+  const double inv = 1.0 / static_cast<double>(a.value().size());
+  return Scale(SumAll(a), inv);
+}
+
+Tensor SliceColumns(const Tensor& a, size_t begin, size_t end) {
+  SAM_CHECK(begin <= end && end <= a.cols());
+  Matrix v(a.rows(), end - begin);
+  for (size_t r = 0; r < a.rows(); ++r) {
+    const double* src = a.value().row(r) + begin;
+    std::copy(src, src + (end - begin), v.row(r));
+  }
+  return MakeOp(std::move(v), {a},
+                [begin, end](TensorNode& n) {
+                  TensorNode* an = n.parents[0].get();
+                  if (!an->requires_grad) return;
+                  an->EnsureGrad();
+                  for (size_t r = 0; r < n.grad.rows(); ++r) {
+                    const double* g = n.grad.row(r);
+                    double* dst = an->grad.row(r) + begin;
+                    for (size_t c = 0; c < end - begin; ++c) dst[c] += g[c];
+                  }
+                },
+                "slice_cols");
+}
+
+Tensor SliceRows(const Tensor& a, size_t begin, size_t end) {
+  SAM_CHECK(begin <= end && end <= a.rows());
+  Matrix v(end - begin, a.cols());
+  for (size_t r = begin; r < end; ++r) {
+    const double* src = a.value().row(r);
+    std::copy(src, src + a.cols(), v.row(r - begin));
+  }
+  return MakeOp(std::move(v), {a},
+                [begin, end](TensorNode& n) {
+                  TensorNode* an = n.parents[0].get();
+                  if (!an->requires_grad) return;
+                  an->EnsureGrad();
+                  for (size_t r = begin; r < end; ++r) {
+                    const double* g = n.grad.row(r - begin);
+                    double* dst = an->grad.row(r);
+                    for (size_t c = 0; c < n.grad.cols(); ++c) dst[c] += g[c];
+                  }
+                },
+                "slice_rows");
+}
+
+Tensor PadColumns(const Tensor& a, size_t offset, size_t total) {
+  SAM_CHECK_LE(offset + a.cols(), total);
+  Matrix v(a.rows(), total);
+  for (size_t r = 0; r < a.rows(); ++r) {
+    const double* src = a.value().row(r);
+    std::copy(src, src + a.cols(), v.row(r) + offset);
+  }
+  const size_t width = a.cols();
+  return MakeOp(std::move(v), {a},
+                [offset, width](TensorNode& n) {
+                  TensorNode* an = n.parents[0].get();
+                  if (!an->requires_grad) return;
+                  an->EnsureGrad();
+                  for (size_t r = 0; r < n.grad.rows(); ++r) {
+                    const double* g = n.grad.row(r) + offset;
+                    double* dst = an->grad.row(r);
+                    for (size_t c = 0; c < width; ++c) dst[c] += g[c];
+                  }
+                },
+                "pad_cols");
+}
+
+Tensor GumbelSoftmaxST(const Tensor& logits, double tau, Rng* rng) {
+  const size_t b = logits.rows();
+  const size_t d = logits.cols();
+  // Compute perturbed logits once; derive both the soft distribution (kept
+  // for the backward pass) and the hard one-hot forward value from it.
+  Matrix soft(b, d);
+  Matrix hard(b, d);
+  for (size_t r = 0; r < b; ++r) {
+    const double* lg = logits.value().row(r);
+    double* srow = soft.row(r);
+    double mx = -std::numeric_limits<double>::infinity();
+    for (size_t c = 0; c < d; ++c) {
+      srow[c] = (lg[c] + rng->Gumbel()) / tau;
+      mx = std::max(mx, srow[c]);
+    }
+    size_t argmax = 0;
+    double best = -std::numeric_limits<double>::infinity();
+    double sum = 0.0;
+    for (size_t c = 0; c < d; ++c) {
+      if (srow[c] > best) {
+        best = srow[c];
+        argmax = c;
+      }
+      srow[c] = std::exp(srow[c] - mx);
+      sum += srow[c];
+    }
+    const double inv = 1.0 / sum;
+    for (size_t c = 0; c < d; ++c) srow[c] *= inv;
+    hard(r, argmax) = 1.0;
+  }
+  const double inv_tau = 1.0 / tau;
+  auto soft_holder = std::make_shared<Matrix>(std::move(soft));
+  return MakeOp(std::move(hard), {logits},
+                [soft_holder, inv_tau](TensorNode& n) {
+                  TensorNode* an = n.parents[0].get();
+                  if (!an->requires_grad) return;
+                  an->EnsureGrad();
+                  // Straight-through: treat the output as y_soft for the
+                  // backward pass. d y_soft/d logits is the tempered softmax
+                  // Jacobian: y/tau * (dy - sum(dy*y)).
+                  const Matrix& y = *soft_holder;
+                  for (size_t r = 0; r < n.grad.rows(); ++r) {
+                    const double* yr = y.row(r);
+                    const double* dy = n.grad.row(r);
+                    double dot = 0.0;
+                    for (size_t c = 0; c < n.grad.cols(); ++c) dot += dy[c] * yr[c];
+                    double* dx = an->grad.row(r);
+                    for (size_t c = 0; c < n.grad.cols(); ++c) {
+                      dx[c] += inv_tau * yr[c] * (dy[c] - dot);
+                    }
+                  }
+                },
+                "gumbel_softmax_st");
+}
+
+Tensor Reciprocal(const Tensor& a, double eps) {
+  Matrix v = a.value();
+  for (size_t i = 0; i < v.size(); ++i) {
+    v.data()[i] = 1.0 / std::max(v.data()[i], eps);
+  }
+  return MakeOp(std::move(v), {a},
+                [eps](TensorNode& n) {
+                  TensorNode* an = n.parents[0].get();
+                  if (!an->requires_grad) return;
+                  an->EnsureGrad();
+                  double* dst = an->grad.data();
+                  const double* g = n.grad.data();
+                  const double* x = an->value.data();
+                  for (size_t i = 0; i < n.grad.size(); ++i) {
+                    const double xv = std::max(x[i], eps);
+                    dst[i] -= g[i] / (xv * xv);
+                  }
+                },
+                "reciprocal");
+}
+
+}  // namespace sam::ad

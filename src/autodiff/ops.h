@@ -1,0 +1,68 @@
+#pragma once
+
+#include "autodiff/tensor.h"
+#include "common/random.h"
+
+namespace sam::ad {
+
+/// Elementwise sum of two same-shape tensors.
+Tensor Add(const Tensor& a, const Tensor& b);
+
+/// Adds a 1 x D row vector `bias` to every row of the B x D tensor `a`.
+Tensor AddRowBroadcast(const Tensor& a, const Tensor& bias);
+
+/// Elementwise difference a - b.
+Tensor Sub(const Tensor& a, const Tensor& b);
+
+/// Elementwise (Hadamard) product.
+Tensor Mul(const Tensor& a, const Tensor& b);
+
+/// Multiplies every element by scalar `s`.
+Tensor Scale(const Tensor& a, double s);
+
+/// Matrix product a (B x K) * b (K x D).
+Tensor Matmul(const Tensor& a, const Tensor& b);
+
+/// Rectified linear unit.
+Tensor Relu(const Tensor& a);
+
+/// Row-wise softmax over the full width of `a`.
+Tensor Softmax(const Tensor& a);
+
+/// Natural log of max(a, eps); the clamp keeps DPS stable when a predicted
+/// in-range probability underflows.
+Tensor LogEps(const Tensor& a, double eps = 1e-30);
+
+/// Row-wise sum: B x D -> B x 1.
+Tensor RowSum(const Tensor& a);
+
+/// Sum of all elements -> 1 x 1.
+Tensor SumAll(const Tensor& a);
+
+/// Mean of all elements -> 1 x 1.
+Tensor MeanAll(const Tensor& a);
+
+/// Columns [begin, end) of `a`.
+Tensor SliceColumns(const Tensor& a, size_t begin, size_t end);
+
+/// Rows [begin, end) of `a`.
+Tensor SliceRows(const Tensor& a, size_t begin, size_t end);
+
+/// Places the B x D block `a` at column `offset` of a B x `total` tensor of
+/// zeros. The building block for progressively composing MADE inputs.
+Tensor PadColumns(const Tensor& a, size_t offset, size_t total);
+
+/// \brief Straight-through Gumbel-Softmax sample (one sample per row).
+///
+/// `logits` are *masked* log-probabilities (out-of-range entries at a large
+/// negative value). Forward emits the hard one-hot of
+/// `argmax(logits + Gumbel noise)`; backward routes gradients through the
+/// tempered softmax `y_soft = softmax((logits + g) / tau)` — the
+/// straight-through estimator used by the paper's Differentiable Progressive
+/// Sampling (§4.1).
+Tensor GumbelSoftmaxST(const Tensor& logits, double tau, Rng* rng);
+
+/// Elementwise reciprocal 1 / max(a, eps).
+Tensor Reciprocal(const Tensor& a, double eps = 1e-30);
+
+}  // namespace sam::ad

@@ -1,0 +1,71 @@
+#include "autodiff/tensor.h"
+
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace sam::ad {
+
+namespace {
+thread_local bool g_no_grad = false;
+}  // namespace
+
+NoGradGuard::NoGradGuard() : prev_(g_no_grad) { g_no_grad = true; }
+NoGradGuard::~NoGradGuard() { g_no_grad = prev_; }
+bool NoGradGuard::Active() { return g_no_grad; }
+
+Tensor Tensor::Constant(Matrix value) {
+  auto node = std::make_shared<TensorNode>();
+  node->value = std::move(value);
+  node->requires_grad = false;
+  return Tensor(std::move(node));
+}
+
+Tensor Tensor::Param(Matrix value) {
+  auto node = std::make_shared<TensorNode>();
+  node->value = std::move(value);
+  node->requires_grad = true;
+  node->op_name = "param";
+  return Tensor(std::move(node));
+}
+
+Tensor Tensor::Zeros(size_t rows, size_t cols) { return Constant(Matrix(rows, cols)); }
+
+void Tensor::Backward() const {
+  SAM_CHECK(node_ != nullptr) << "Backward on undefined tensor";
+  SAM_CHECK(node_->rows() == 1 && node_->cols() == 1)
+      << "Backward requires a scalar loss, got " << node_->rows() << "x"
+      << node_->cols();
+
+  // Topological order via iterative post-order DFS.
+  std::vector<TensorNode*> order;
+  std::unordered_set<TensorNode*> visited;
+  std::vector<std::pair<TensorNode*, size_t>> stack;
+  stack.emplace_back(node_.get(), 0);
+  visited.insert(node_.get());
+  while (!stack.empty()) {
+    auto& [n, idx] = stack.back();
+    if (idx < n->parents.size()) {
+      TensorNode* p = n->parents[idx].get();
+      ++idx;
+      if (p->requires_grad && visited.insert(p).second) {
+        stack.emplace_back(p, 0);
+      }
+    } else {
+      order.push_back(n);
+      stack.pop_back();
+    }
+  }
+
+  node_->EnsureGrad();
+  node_->grad(0, 0) += 1.0;
+
+  // `order` is post-order (children before parents in graph direction), so
+  // iterating in reverse visits each node after all of its consumers.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    TensorNode* n = *it;
+    if (n->backward_fn) n->backward_fn(*n);
+  }
+}
+
+}  // namespace sam::ad

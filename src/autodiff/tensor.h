@@ -1,0 +1,99 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace sam::ad {
+
+/// \brief Node in the reverse-mode autodiff tape.
+///
+/// Every tensor in this engine is a dense 2-D matrix of doubles
+/// (`batch x features`), which is all the MADE architecture and the DPS
+/// training loop require. Nodes own their value, an optional gradient buffer,
+/// and a closure that accumulates gradients into their parents.
+struct TensorNode {
+  Matrix value;
+  Matrix grad;
+  bool requires_grad = false;
+  /// Parents in the computation graph (empty for leaves).
+  std::vector<std::shared_ptr<TensorNode>> parents;
+  /// Accumulates this node's gradient into its parents' gradients.
+  std::function<void(TensorNode&)> backward_fn;
+  /// Debug label for graph dumps and error messages.
+  std::string op_name = "leaf";
+
+  size_t rows() const { return value.rows(); }
+  size_t cols() const { return value.cols(); }
+
+  void EnsureGrad() {
+    if (grad.rows() != value.rows() || grad.cols() != value.cols()) {
+      grad = Matrix(value.rows(), value.cols());
+    }
+  }
+};
+
+/// \brief Handle to a `TensorNode`; cheap to copy.
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(std::shared_ptr<TensorNode> node) : node_(std::move(node)) {}
+
+  /// \brief Leaf tensor that does not require gradients.
+  static Tensor Constant(Matrix value);
+
+  /// \brief Trainable leaf (model parameter).
+  static Tensor Param(Matrix value);
+
+  /// \brief Constant of zeros.
+  static Tensor Zeros(size_t rows, size_t cols);
+
+  bool defined() const { return node_ != nullptr; }
+  size_t rows() const { return node_->rows(); }
+  size_t cols() const { return node_->cols(); }
+
+  const Matrix& value() const { return node_->value; }
+  Matrix& mutable_value() { return node_->value; }
+  const Matrix& grad() const { return node_->grad; }
+
+  bool requires_grad() const { return node_->requires_grad; }
+
+  std::shared_ptr<TensorNode>& node() { return node_; }
+  const std::shared_ptr<TensorNode>& node() const { return node_; }
+
+  /// \brief Runs reverse-mode accumulation from this (scalar, 1x1) tensor.
+  ///
+  /// Gradients of all reachable `requires_grad` nodes are accumulated into
+  /// their `grad` buffers (callers zero them between steps via
+  /// `AdamOptimizer::ZeroGrad` or `ZeroGrad()` on the leaves).
+  void Backward() const;
+
+  /// \brief Clears this tensor's gradient buffer.
+  void ZeroGrad() { node_->grad = Matrix(rows(), cols()); }
+
+ private:
+  std::shared_ptr<TensorNode> node_;
+};
+
+/// \brief RAII guard that disables tape construction.
+///
+/// While a guard is alive, ops produce value-only tensors with no parents,
+/// which makes inference and generation passes allocation-light.
+class NoGradGuard {
+ public:
+  NoGradGuard();
+  ~NoGradGuard();
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+  /// True when some guard is active on this thread.
+  static bool Active();
+
+ private:
+  bool prev_;
+};
+
+}  // namespace sam::ad

@@ -1,0 +1,58 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sam {
+
+double Rng::Gumbel() {
+  // -log(-log(U)) with U in (0,1); clamp away from 0 to avoid inf.
+  double u = Uniform();
+  u = std::max(u, 1e-12);
+  return -std::log(-std::log(u));
+}
+
+int64_t Rng::Zipf(int64_t n, double s) {
+  if (n <= 1) return 0;
+  if (s <= 1.0) {
+    // Rejection sampler below requires s > 1; fall back to a linear scan over
+    // the (unnormalised) CDF, which is fine for the dataset-generator sizes.
+    double total = 0.0;
+    for (int64_t i = 1; i <= n; ++i) total += std::pow(static_cast<double>(i), -s);
+    double r = Uniform() * total;
+    for (int64_t i = 1; i <= n; ++i) {
+      r -= std::pow(static_cast<double>(i), -s);
+      if (r <= 0.0) return i - 1;
+    }
+    return n - 1;
+  }
+  // Rejection-free inverse CDF via cumulative weights would be O(n) per call;
+  // instead use the standard rejection sampler (Devroye) which is O(1) amortised.
+  // For the modest n used by dataset generators a cached CDF would also work,
+  // but this keeps the generator stateless w.r.t. n.
+  const double b = std::pow(2.0, s - 1.0);
+  while (true) {
+    const double u = Uniform();
+    const double v = Uniform();
+    const double x = std::floor(std::pow(u, -1.0 / (s - 1.0)));
+    if (x < 1.0 || x > static_cast<double>(n)) continue;
+    const double t = std::pow(1.0 + 1.0 / x, s - 1.0);
+    if (v * x * (t - 1.0) / (b - 1.0) <= t / b) {
+      return static_cast<int64_t>(x) - 1;
+    }
+  }
+}
+
+int64_t Rng::Categorical(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) total += w;
+  if (total <= 0.0) return -1;
+  double r = Uniform() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    r -= weights[i];
+    if (r <= 0.0) return static_cast<int64_t>(i);
+  }
+  return static_cast<int64_t>(weights.size()) - 1;
+}
+
+}  // namespace sam

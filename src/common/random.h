@@ -1,0 +1,80 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace sam {
+
+/// \brief Seeded pseudo-random number generator used across the library.
+///
+/// Wraps a fixed engine so that every experiment in the repo is reproducible
+/// from a single seed. All sampling utilities used by the paper's algorithms
+/// (uniform, categorical, Gumbel noise) live here.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5a4db00c) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    std::uniform_int_distribution<int64_t> d(lo, hi);
+    return d(engine_);
+  }
+
+  /// Uniform real in [0, 1).
+  double Uniform() {
+    std::uniform_real_distribution<double> d(0.0, 1.0);
+    return d(engine_);
+  }
+
+  /// Uniform real in [lo, hi).
+  double Uniform(double lo, double hi) {
+    std::uniform_real_distribution<double> d(lo, hi);
+    return d(engine_);
+  }
+
+  /// Standard normal sample.
+  double Normal() {
+    std::normal_distribution<double> d(0.0, 1.0);
+    return d(engine_);
+  }
+
+  /// Normal with mean/stddev.
+  double Normal(double mean, double stddev) {
+    std::normal_distribution<double> d(mean, stddev);
+    return d(engine_);
+  }
+
+  /// Standard Gumbel(0,1) sample, used by the Gumbel-Softmax trick.
+  double Gumbel();
+
+  /// Zipf-like skewed integer in [0, n) with exponent `s`.
+  ///
+  /// Uses inverse-CDF over a cached normaliser; intended for synthetic data
+  /// with realistic skew (e.g. IMDB-like fanouts).
+  int64_t Zipf(int64_t n, double s);
+
+  /// Samples an index from an (unnormalised, non-negative) weight vector.
+  /// Returns -1 when every weight is zero.
+  int64_t Categorical(const std::vector<double>& weights);
+
+  /// Bernoulli trial with probability `p`.
+  bool Bernoulli(double p) {
+    std::bernoulli_distribution d(p);
+    return d(engine_);
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    std::shuffle(v->begin(), v->end(), engine_);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace sam

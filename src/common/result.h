@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace sam {
+
+/// \brief Value-or-error return type (Arrow's `arrow::Result`).
+///
+/// Holds either a `T` or a non-OK `Status`. Accessors assert on misuse; use
+/// `ok()` to branch first, or `SAM_ASSIGN_OR_RETURN` to propagate.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value.
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+
+  /// Implicit from an error status. Must not be OK.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(repr_).ok() && "Result constructed from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// \brief The status; OK when a value is held.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  /// \brief Borrow the value. Aborts with the error status when not `ok()`
+  /// (active in all build types — silently reading an error would be UB).
+  const T& ValueOrDie() const& {
+    CheckOk();
+    return std::get<T>(repr_);
+  }
+
+  T& ValueOrDie() & {
+    CheckOk();
+    return std::get<T>(repr_);
+  }
+
+  /// \brief Move the value out. Aborts with the error status when not `ok()`.
+  T MoveValue() {
+    CheckOk();
+    return std::move(std::get<T>(repr_));
+  }
+
+  /// \brief Value if present, otherwise `fallback`.
+  T ValueOr(T fallback) const {
+    if (ok()) return std::get<T>(repr_);
+    return fallback;
+  }
+
+ private:
+  void CheckOk() const {
+    if (!ok()) {
+      internal::FatalStatus("Result", 0, std::get<Status>(repr_));
+    }
+  }
+
+  std::variant<Status, T> repr_;
+};
+
+}  // namespace sam
+
+/// Assigns the value of a Result expression to `lhs`, or returns its error.
+#define SAM_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                              \
+  if (!tmp.ok()) return tmp.status();             \
+  lhs = tmp.MoveValue()
+
+#define SAM_ASSIGN_OR_RETURN_CAT(a, b) a##b
+#define SAM_ASSIGN_OR_RETURN_NAME(a, b) SAM_ASSIGN_OR_RETURN_CAT(a, b)
+#define SAM_ASSIGN_OR_RETURN(lhs, expr) \
+  SAM_ASSIGN_OR_RETURN_IMPL(SAM_ASSIGN_OR_RETURN_NAME(_res_, __LINE__), lhs, expr)

@@ -1,0 +1,46 @@
+#include "common/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace sam {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kNotImplemented:
+      return "NotImplemented";
+    case StatusCode::kIOError:
+      return "IOError";
+    case StatusCode::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeToString(code_);
+  out += ": ";
+  out += msg_;
+  return out;
+}
+
+namespace internal {
+
+void FatalStatus(const char* file, int line, const Status& st) {
+  std::fprintf(stderr, "[%s:%d] fatal status: %s\n", file, line, st.ToString().c_str());
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace sam

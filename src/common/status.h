@@ -1,0 +1,100 @@
+#pragma once
+
+#include <string>
+#include <utility>
+
+namespace sam {
+
+/// \brief Error category for a failed operation.
+///
+/// Mirrors the Arrow/RocksDB convention of returning rich status objects from
+/// fallible APIs instead of throwing exceptions across library boundaries.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kNotImplemented,
+  kIOError,
+  kInternal,
+};
+
+/// \brief Returns a human readable name for a status code.
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of an operation that can fail.
+///
+/// A `Status` is cheap to copy in the OK case (no allocation) and carries a
+/// code plus message otherwise. Use the factory helpers
+/// (`Status::InvalidArgument(...)` etc.) to construct errors.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  /// \brief Returns an OK status.
+  static Status OK() { return Status(); }
+
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  /// \brief True if the operation succeeded.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  StatusCode code() const { return code_; }
+
+  /// \brief The error message; empty for OK statuses.
+  const std::string& message() const { return msg_; }
+
+  /// \brief Renders "<Code>: <message>" for logging.
+  std::string ToString() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string msg_;
+};
+
+}  // namespace sam
+
+/// Propagates a non-OK status to the caller (Arrow's ARROW_RETURN_NOT_OK).
+#define SAM_RETURN_NOT_OK(expr)             \
+  do {                                      \
+    ::sam::Status _st = (expr);             \
+    if (!_st.ok()) return _st;              \
+  } while (false)
+
+/// Aborts the process with a diagnostic if `expr` is not OK. Intended for
+/// call sites where failure indicates a programming error.
+#define SAM_CHECK_OK(expr)                                                  \
+  do {                                                                      \
+    ::sam::Status _st = (expr);                                             \
+    if (!_st.ok()) {                                                        \
+      ::sam::internal::FatalStatus(__FILE__, __LINE__, _st);                \
+    }                                                                       \
+  } while (false)
+
+namespace sam::internal {
+[[noreturn]] void FatalStatus(const char* file, int line, const Status& st);
+}  // namespace sam::internal

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sam {
+
+/// Splits `s` on `delim`; keeps empty fields.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Joins strings with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Strips leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// True when `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Formats a double with sensible scientific/fixed switching for tables,
+/// mirroring how the paper reports errors (e.g. "2e+06" vs "1.27").
+std::string FormatMetric(double v);
+
+/// Left-pads/truncates to width for fixed-width report tables.
+std::string PadTo(std::string s, size_t width);
+
+}  // namespace sam

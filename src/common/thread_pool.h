@@ -1,0 +1,45 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace sam {
+
+/// \brief Fixed-size worker pool.
+///
+/// The paper notes that AR sampling is "embarrassingly parallel"; the
+/// generation pipelines shard sample batches across this pool.
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers (defaults to hardware concurrency).
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; returns a future for its completion.
+  std::future<void> Submit(std::function<void()> task);
+
+  /// Runs `fn(i)` for i in [0, n) across the pool and waits for completion.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace sam

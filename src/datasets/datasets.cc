@@ -1,0 +1,292 @@
+#include "datasets/datasets.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace sam {
+
+namespace {
+
+/// Clamps v into [lo, hi].
+int64_t Clamp(int64_t v, int64_t lo, int64_t hi) {
+  return std::max(lo, std::min(hi, v));
+}
+
+std::string LabelFor(const char* prefix, int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%s_%03lld", prefix, static_cast<long long>(v));
+  return buf;
+}
+
+Column IntColumn(const std::string& name, const std::vector<int64_t>& raw) {
+  std::vector<Value> values;
+  values.reserve(raw.size());
+  for (int64_t v : raw) values.emplace_back(v);
+  return Column::FromValues(name, ColumnType::kInt, values);
+}
+
+Column StringColumn(const std::string& name, const std::vector<std::string>& raw) {
+  std::vector<Value> values;
+  values.reserve(raw.size());
+  for (const auto& v : raw) values.emplace_back(v);
+  return Column::FromValues(name, ColumnType::kString, values);
+}
+
+}  // namespace
+
+Database MakeCensusLike(size_t num_rows, uint64_t seed) {
+  Rng rng(seed);
+  const size_t n = num_rows;
+  std::vector<int64_t> age(n), education_num(n), marital(n), occupation(n);
+  std::vector<int64_t> relationship(n), race(n), sex(n), capital_gain(n);
+  std::vector<int64_t> capital_loss(n), hours(n), country(n), income(n);
+  std::vector<std::string> workclass(n), education(n);
+
+  for (size_t i = 0; i < n; ++i) {
+    // Latent class drives the correlation structure: a cluster loosely
+    // corresponds to a socio-economic stratum.
+    const int64_t z = rng.UniformInt(0, 7);
+
+    age[i] = Clamp(static_cast<int64_t>(std::llround(rng.Normal(25 + 6.0 * z, 8.0))),
+                   17, 90);
+    const int64_t edu = Clamp(rng.Zipf(16, 1.3) + (z % 4), 0, 15);
+    education[i] = LabelFor("edu", edu);
+    education_num[i] = edu + 1;
+    workclass[i] = LabelFor("wc", (z + rng.Zipf(9, 1.5)) % 9);
+    occupation[i] = (edu + rng.Zipf(15, 1.2)) % 15;
+    // Younger people skew single (marital code 4), older skew married (0).
+    marital[i] = (age[i] < 25 && rng.Bernoulli(0.8)) ? 4 : rng.Zipf(7, 1.6);
+    relationship[i] = (marital[i] + rng.Zipf(6, 1.5)) % 6;
+    race[i] = rng.Zipf(5, 1.8);
+    sex[i] = rng.Bernoulli(0.52) ? 1 : 0;
+    hours[i] = Clamp(
+        static_cast<int64_t>(std::llround(rng.Normal(40 + 4.0 * (z % 3), 10.0))), 1,
+        99);
+    capital_gain[i] =
+        rng.Bernoulli(0.9) ? 0 : 500 * (1 + rng.Zipf(120, 1.5));
+    capital_loss[i] = rng.Bernoulli(0.95) ? 0 : 100 * (1 + rng.Zipf(98, 1.5));
+    // Income is a noisy logistic function of education, hours and age, so a
+    // model must capture cross-column correlation to match selectivities.
+    const double score = 0.45 * static_cast<double>(education_num[i]) +
+                         0.05 * static_cast<double>(hours[i]) +
+                         0.02 * static_cast<double>(age[i]) - 6.0 + rng.Normal();
+    income[i] = score > 0.0 ? 1 : 0;
+    country[i] = rng.Zipf(42, 1.7);
+  }
+
+  Table table("census");
+  SAM_CHECK_OK(table.AddColumn(IntColumn("age", age)));
+  SAM_CHECK_OK(table.AddColumn(StringColumn("workclass", workclass)));
+  SAM_CHECK_OK(table.AddColumn(StringColumn("education", education)));
+  SAM_CHECK_OK(table.AddColumn(IntColumn("education_num", education_num)));
+  SAM_CHECK_OK(table.AddColumn(IntColumn("marital_status", marital)));
+  SAM_CHECK_OK(table.AddColumn(IntColumn("occupation", occupation)));
+  SAM_CHECK_OK(table.AddColumn(IntColumn("relationship", relationship)));
+  SAM_CHECK_OK(table.AddColumn(IntColumn("race", race)));
+  SAM_CHECK_OK(table.AddColumn(IntColumn("sex", sex)));
+  SAM_CHECK_OK(table.AddColumn(IntColumn("capital_gain", capital_gain)));
+  SAM_CHECK_OK(table.AddColumn(IntColumn("capital_loss", capital_loss)));
+  SAM_CHECK_OK(table.AddColumn(IntColumn("hours_per_week", hours)));
+  SAM_CHECK_OK(table.AddColumn(IntColumn("native_country", country)));
+  SAM_CHECK_OK(table.AddColumn(IntColumn("income", income)));
+
+  Database db;
+  SAM_CHECK_OK(db.AddTable(std::move(table)));
+  return db;
+}
+
+Database MakeDmvLike(size_t num_rows, uint64_t seed) {
+  Rng rng(seed);
+  const size_t n = num_rows;
+  std::vector<int64_t> record_type(n), reg_class(n), state(n), county(n);
+  std::vector<int64_t> body_type(n), fuel_type(n), color(n), valid_date(n);
+  std::vector<int64_t> scofflaw(n), suspension(n), revocation(n);
+
+  for (size_t i = 0; i < n; ++i) {
+    const int64_t z = rng.UniformInt(0, 9);
+    record_type[i] = rng.Bernoulli(0.85) ? 0 : 1;
+    reg_class[i] = (z * 7 + rng.Zipf(75, 1.4)) % 75;
+    // Most registrations are in-state (code 0), the tail is Zipf over the rest.
+    state[i] = rng.Bernoulli(0.9) ? 0 : 1 + rng.Zipf(88, 1.2);
+    county[i] = (state[i] == 0) ? rng.Zipf(62, 1.3) : rng.UniformInt(0, 61);
+    body_type[i] = (reg_class[i] / 2 + rng.Zipf(60, 1.5)) % 60;
+    fuel_type[i] = (body_type[i] % 3 == 0) ? rng.Zipf(9, 2.0) : rng.Zipf(9, 1.2);
+    color[i] = (body_type[i] + rng.Zipf(225, 1.3)) % 225;
+    // Registration validity date in days; newer vehicles dominate.
+    valid_date[i] = Clamp(2100 - rng.Zipf(2101, 1.1), 0, 2100);
+    scofflaw[i] = rng.Bernoulli(0.02) ? 1 : 0;
+    suspension[i] = (scofflaw[i] == 1 && rng.Bernoulli(0.5)) || rng.Bernoulli(0.03)
+                        ? 1
+                        : 0;
+    revocation[i] = (suspension[i] == 1 && rng.Bernoulli(0.3)) ? 1 : 0;
+  }
+
+  Table table("dmv");
+  SAM_CHECK_OK(table.AddColumn(IntColumn("record_type", record_type)));
+  SAM_CHECK_OK(table.AddColumn(IntColumn("registration_class", reg_class)));
+  SAM_CHECK_OK(table.AddColumn(IntColumn("state", state)));
+  SAM_CHECK_OK(table.AddColumn(IntColumn("county", county)));
+  SAM_CHECK_OK(table.AddColumn(IntColumn("body_type", body_type)));
+  SAM_CHECK_OK(table.AddColumn(IntColumn("fuel_type", fuel_type)));
+  SAM_CHECK_OK(table.AddColumn(IntColumn("color", color)));
+  SAM_CHECK_OK(table.AddColumn(IntColumn("valid_date", valid_date)));
+  SAM_CHECK_OK(table.AddColumn(IntColumn("scofflaw", scofflaw)));
+  SAM_CHECK_OK(table.AddColumn(IntColumn("suspension", suspension)));
+  SAM_CHECK_OK(table.AddColumn(IntColumn("revocation", revocation)));
+
+  Database db;
+  SAM_CHECK_OK(db.AddTable(std::move(table)));
+  return db;
+}
+
+namespace {
+
+/// Specification of one IMDB-like child relation.
+struct ChildSpec {
+  const char* name;
+  const char* content_column;
+  int64_t domain;         ///< Content-column domain size.
+  double zipf_s;          ///< Content skew.
+  double p_zero;          ///< Probability a title has no rows here.
+  int64_t max_fanout;     ///< Fanout = 1 + Zipf(max_fanout, fanout_s).
+  double fanout_s;
+};
+
+}  // namespace
+
+Database MakeImdbLike(size_t title_rows, uint64_t seed) {
+  Rng rng(seed);
+  const size_t n = title_rows;
+
+  std::vector<int64_t> title_id(n), kind_id(n), production_year(n);
+  for (size_t i = 0; i < n; ++i) {
+    title_id[i] = static_cast<int64_t>(i);
+    kind_id[i] = rng.Zipf(7, 1.5);
+    production_year[i] = 2025 - rng.Zipf(126, 1.2);
+  }
+
+  Database db;
+  {
+    Table title("title");
+    SAM_CHECK_OK(title.AddColumn(IntColumn("id", title_id)));
+    SAM_CHECK_OK(title.AddColumn(IntColumn("kind_id", kind_id)));
+    SAM_CHECK_OK(title.AddColumn(IntColumn("production_year", production_year)));
+    SAM_CHECK_OK(title.SetPrimaryKey("id"));
+    SAM_CHECK_OK(db.AddTable(std::move(title)));
+  }
+
+  const ChildSpec specs[] = {
+      {"movie_companies", "company_type_id", 4, 1.4, 0.20, 8, 1.6},
+      {"cast_info", "role_id", 11, 1.3, 0.10, 20, 1.4},
+      {"movie_info", "info_type_id", 20, 1.2, 0.15, 15, 1.5},
+      {"movie_info_idx", "info_type_id", 5, 1.6, 0.40, 4, 1.8},
+      {"movie_keyword", "keyword_id", 60, 1.2, 0.30, 25, 1.3},
+  };
+
+  // Per-title popularity: popular titles have more rows in *every* child
+  // relation and are less likely to be absent from any of them. This
+  // cross-child fanout correlation mirrors real IMDB (blockbusters have many
+  // cast entries AND many keywords) and is exactly what the view-based join
+  // key assignment cannot capture (Figure 4 / §5.5).
+  std::vector<double> popularity(n);
+  for (size_t i = 0; i < n; ++i) {
+    double pop = std::exp(rng.Normal(0.0, 0.5));
+    // Recent titles trend more popular, giving content-visible signal.
+    if (production_year[i] >= 2000) pop *= 1.6;
+    popularity[i] = pop;
+  }
+
+  for (const auto& spec : specs) {
+    std::vector<int64_t> movie_id;
+    std::vector<int64_t> content;
+    for (size_t i = 0; i < n; ++i) {
+      const double p_zero =
+          std::min(0.9, std::max(0.03, spec.p_zero * 1.5 / (0.5 + popularity[i])));
+      if (rng.Bernoulli(p_zero)) continue;  // Title absent -> FOJ NULL.
+      const int64_t base_fanout = 1 + rng.Zipf(spec.max_fanout, spec.fanout_s);
+      const int64_t fanout = Clamp(
+          static_cast<int64_t>(std::llround(popularity[i] * base_fanout)), 1,
+          spec.max_fanout);
+      for (int64_t k = 0; k < fanout; ++k) {
+        movie_id.push_back(title_id[i]);
+        // Content correlates with the title's kind and year so join queries
+        // carry cross-relation correlation signal.
+        const int64_t base = (kind_id[i] * 3 + (production_year[i] / 40)) %
+                             spec.domain;
+        content.push_back((base + rng.Zipf(spec.domain, spec.zipf_s)) %
+                          spec.domain);
+      }
+    }
+    Table child(spec.name);
+    SAM_CHECK_OK(child.AddColumn(IntColumn("movie_id", movie_id)));
+    SAM_CHECK_OK(child.AddColumn(IntColumn(spec.content_column, content)));
+    SAM_CHECK_OK(child.AddForeignKey(ForeignKey{"movie_id", "title", "id"}));
+    SAM_CHECK_OK(db.AddTable(std::move(child)));
+  }
+  SAM_CHECK_OK(db.ValidateIntegrity());
+  return db;
+}
+
+Database MakeChainDatabase() {
+  Database db;
+  {
+    Table a("A");
+    SAM_CHECK_OK(a.AddColumn(IntColumn("x", {1, 2})));
+    SAM_CHECK_OK(a.AddColumn(StringColumn("a", {"m", "n"})));
+    SAM_CHECK_OK(a.SetPrimaryKey("x"));
+    SAM_CHECK_OK(db.AddTable(std::move(a)));
+  }
+  {
+    Table b("B");
+    SAM_CHECK_OK(b.AddColumn(IntColumn("y", {1, 2, 3})));
+    SAM_CHECK_OK(b.AddColumn(IntColumn("x", {1, 1, 2})));
+    SAM_CHECK_OK(b.AddColumn(StringColumn("b", {"p", "q", "p"})));
+    SAM_CHECK_OK(b.SetPrimaryKey("y"));
+    SAM_CHECK_OK(b.AddForeignKey(ForeignKey{"x", "A", "x"}));
+    SAM_CHECK_OK(db.AddTable(std::move(b)));
+  }
+  {
+    Table c("C");
+    SAM_CHECK_OK(c.AddColumn(IntColumn("y", {1, 1, 3})));
+    SAM_CHECK_OK(c.AddColumn(StringColumn("c", {"u", "v", "u"})));
+    SAM_CHECK_OK(c.AddForeignKey(ForeignKey{"y", "B", "y"}));
+    SAM_CHECK_OK(db.AddTable(std::move(c)));
+  }
+  SAM_CHECK_OK(db.ValidateIntegrity());
+  return db;
+}
+
+Database MakeFigure3Database() {
+  Database db;
+  {
+    Table a("A");
+    SAM_CHECK_OK(a.AddColumn(IntColumn("x", {1, 2, 3, 4})));
+    SAM_CHECK_OK(a.AddColumn(StringColumn("a", {"m", "m", "n", "n"})));
+    SAM_CHECK_OK(a.SetPrimaryKey("x"));
+    SAM_CHECK_OK(db.AddTable(std::move(a)));
+  }
+  {
+    Table b("B");
+    SAM_CHECK_OK(b.AddColumn(IntColumn("x", {1, 2, 2})));
+    SAM_CHECK_OK(b.AddColumn(StringColumn("b", {"a", "b", "c"})));
+    SAM_CHECK_OK(b.AddForeignKey(ForeignKey{"x", "A", "x"}));
+    SAM_CHECK_OK(db.AddTable(std::move(b)));
+  }
+  {
+    Table c("C");
+    SAM_CHECK_OK(c.AddColumn(IntColumn("x", {1, 1, 2, 2})));
+    SAM_CHECK_OK(c.AddColumn(StringColumn("c", {"i", "j", "i", "j"})));
+    SAM_CHECK_OK(c.AddForeignKey(ForeignKey{"x", "A", "x"}));
+    SAM_CHECK_OK(db.AddTable(std::move(c)));
+  }
+  SAM_CHECK_OK(db.ValidateIntegrity());
+  return db;
+}
+
+}  // namespace sam

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "storage/database.h"
+
+namespace sam {
+
+/// \brief Synthetic stand-ins for the paper's evaluation datasets.
+///
+/// The paper evaluates on Census (48K x 14), DMV (11.6M x 11) and IMDB with
+/// the JOB-light schema (6 relations, FOJ ~ 2e12). The raw datasets are not
+/// available offline, so these builders create seeded synthetic databases
+/// with matched *shape*: column counts, domain-size ranges, mixed
+/// categorical/numerical types, strong attribute correlations, and (for
+/// IMDB-like) a snowflake join schema with skewed fanouts and zero-fanout
+/// parents. See DESIGN.md §2 for the substitution rationale.
+
+/// \brief Single-relation dataset shaped like Census: `num_rows` x 14
+/// columns, mixed categorical and numerical, domain sizes 2..~123, with
+/// latent-class correlation structure (income/education/age/hours are
+/// strongly dependent).
+Database MakeCensusLike(size_t num_rows = 48000, uint64_t seed = 1);
+
+/// \brief Single-relation dataset shaped like DMV: `num_rows` x 11 columns,
+/// domain sizes 2..~2101. The paper's 11.6M rows are scaled to a CPU-sized
+/// default.
+Database MakeDmvLike(size_t num_rows = 100000, uint64_t seed = 2);
+
+/// \brief Multi-relation database shaped like IMDB/JOB-light: root relation
+/// `title` plus 5 FK relations (movie_companies, cast_info, movie_info,
+/// movie_info_idx, movie_keyword) with Zipf-skewed fanouts and a fraction of
+/// titles absent from each child relation (producing NULLs in the FOJ).
+Database MakeImdbLike(size_t title_rows = 8000, uint64_t seed = 3);
+
+/// \brief A depth-2 chain schema A -> B -> C (B has both a primary key and a
+/// foreign key), exercising the multi-key recursive extension of
+/// Group-and-Merge that the paper defers to its full version:
+///   A = {(1,m),(2,n)}           with PK A.x
+///   B = {(1,1,p),(2,1,q),(3,2,p)} with PK B.y, FK B.x -> A.x
+///   C = {(1,u),(1,v),(3,u)}       with FK C.y -> B.y
+/// Its full outer join has 4 tuples.
+Database MakeChainDatabase();
+
+/// \brief The exact 3-relation database of the paper's Figure 3:
+/// A = {(1,m),(2,m),(3,n),(4,n)} with PK A.x; B = {(1,a),(2,b),(2,c)} and
+/// C = {(1,i),(1,j),(2,i),(2,j)} with FKs B.x, C.x -> A.x. Its full outer
+/// join has 8 tuples; used to validate IPW weights and Group-and-Merge
+/// against the worked example.
+Database MakeFigure3Database();
+
+}  // namespace sam

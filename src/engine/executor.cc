@@ -1,0 +1,316 @@
+#include "engine/executor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+
+namespace sam {
+
+bool CodePredicate::Matches(int32_t code) const {
+  if (code == kNullCode) return false;
+  if (use_set) {
+    return std::binary_search(code_set.begin(), code_set.end(), code);
+  }
+  return code >= lo && code <= hi;
+}
+
+Result<CodePredicate> CompilePredicate(const Table& table, const Predicate& pred) {
+  SAM_ASSIGN_OR_RETURN(size_t idx, table.ColumnIndex(pred.column));
+  const Column& col = table.column(idx);
+  CodePredicate out;
+  out.column_index = idx;
+  const int32_t max_code = static_cast<int32_t>(col.dict_size()) - 1;
+  switch (pred.op) {
+    case PredOp::kEq: {
+      const int32_t c = col.CodeOf(pred.literal);
+      if (c < 0) {
+        out.lo = 1;
+        out.hi = 0;  // Empty range: literal absent from the column.
+      } else {
+        out.lo = out.hi = c;
+      }
+      break;
+    }
+    case PredOp::kLe:
+      out.lo = 0;
+      out.hi = col.UpperBoundCode(pred.literal) - 1;
+      break;
+    case PredOp::kLt:
+      out.lo = 0;
+      out.hi = col.LowerBoundCode(pred.literal) - 1;
+      break;
+    case PredOp::kGe:
+      out.lo = col.LowerBoundCode(pred.literal);
+      out.hi = max_code;
+      break;
+    case PredOp::kGt:
+      out.lo = col.UpperBoundCode(pred.literal);
+      out.hi = max_code;
+      break;
+    case PredOp::kIn: {
+      out.use_set = true;
+      for (const auto& v : pred.in_list) {
+        const int32_t c = col.CodeOf(v);
+        if (c >= 0) out.code_set.push_back(c);
+      }
+      std::sort(out.code_set.begin(), out.code_set.end());
+      out.code_set.erase(std::unique(out.code_set.begin(), out.code_set.end()),
+                         out.code_set.end());
+      break;
+    }
+  }
+  return out;
+}
+
+Result<std::unique_ptr<Executor>> Executor::Create(const Database* db) {
+  auto exec = std::unique_ptr<Executor>(new Executor(db));
+  SAM_RETURN_NOT_OK(exec->Init());
+  return exec;
+}
+
+Status Executor::Init() {
+  SAM_ASSIGN_OR_RETURN(graph_, db_->BuildJoinGraph());
+  for (const auto& e : graph_.edges()) {
+    const Table* child = db_->FindTable(e.child);
+    const Column* fk = child->FindColumn(e.child_column);
+    FkIndex index;
+    index.rows_by_key.reserve(fk->dict_size());
+    for (size_t r = 0; r < fk->num_rows(); ++r) {
+      const Value v = fk->ValueAt(r);
+      if (v.is_null()) continue;
+      index.rows_by_key[v.AsInt()].push_back(static_cast<uint32_t>(r));
+    }
+    fk_indexes_.emplace(e.parent + "->" + e.child, std::move(index));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<char>> Executor::EvalPredicates(const Query& q,
+                                                   const Table& table) const {
+  std::vector<char> sat(table.num_rows(), 1);
+  for (const Predicate* p : q.PredicatesOn(table.name())) {
+    SAM_ASSIGN_OR_RETURN(CodePredicate cp, CompilePredicate(table, *p));
+    const std::vector<int32_t>& codes = table.column(cp.column_index).codes();
+    for (size_t r = 0; r < codes.size(); ++r) {
+      if (sat[r] && !cp.Matches(codes[r])) sat[r] = 0;
+    }
+  }
+  return sat;
+}
+
+Result<std::vector<double>> Executor::SubtreeWeights(
+    const std::string& table, const std::vector<std::string>& rels,
+    const std::unordered_map<std::string, std::vector<char>>& sat,
+    bool outer) const {
+  const Table* t = db_->FindTable(table);
+  if (t == nullptr) return Status::NotFound("table '" + table + "'");
+  std::vector<double> w(t->num_rows(), 1.0);
+  auto sat_it = sat.find(table);
+  if (sat_it != sat.end()) {
+    for (size_t r = 0; r < w.size(); ++r) w[r] = sat_it->second[r] ? 1.0 : 0.0;
+  }
+  for (const auto& child : graph_.Children(table)) {
+    const bool child_in_query =
+        std::find(rels.begin(), rels.end(), child) != rels.end();
+    if (!child_in_query && !outer) continue;
+    if (!child_in_query && outer) {
+      // FOJ still multiplies by the child's expansion even without predicates.
+    }
+    SAM_ASSIGN_OR_RETURN(std::vector<double> wc,
+                         SubtreeWeights(child, rels, sat, outer));
+    // Aggregate child weights per FK value.
+    const Table* ct = db_->FindTable(child);
+    const JoinGraph::Edge* edge = graph_.ParentEdge(child);
+    const Column* fk_col = ct->FindColumn(edge->child_column);
+    std::unordered_map<int64_t, double> agg;
+    agg.reserve(fk_col->dict_size());
+    for (size_t r = 0; r < wc.size(); ++r) {
+      if (wc[r] == 0.0) continue;
+      agg[fk_col->ValueAt(r).AsInt()] += wc[r];
+    }
+    const Column* pk_col = t->FindColumn(edge->parent_column);
+    for (size_t r = 0; r < w.size(); ++r) {
+      if (w[r] == 0.0) continue;
+      auto it = agg.find(pk_col->ValueAt(r).AsInt());
+      double s = (it == agg.end()) ? 0.0 : it->second;
+      if (outer && s == 0.0) s = 1.0;  // Null-extended row survives in the FOJ.
+      w[r] *= s;
+    }
+  }
+  return w;
+}
+
+Result<int64_t> Executor::Cardinality(const Query& q) const {
+  if (q.relations.empty()) return Status::InvalidArgument("query with no relations");
+  std::unordered_map<std::string, std::vector<char>> sat;
+  for (const auto& rel : q.relations) {
+    const Table* t = db_->FindTable(rel);
+    if (t == nullptr) return Status::NotFound("table '" + rel + "'");
+    SAM_ASSIGN_OR_RETURN(sat[rel], EvalPredicates(q, *t));
+  }
+  // Locate the top relation: the unique one whose parent is outside the
+  // query; all other relations' parents must be inside (connected subtree).
+  std::string top;
+  for (const auto& rel : q.relations) {
+    const std::string parent = graph_.Parent(rel);
+    const bool parent_in =
+        std::find(q.relations.begin(), q.relations.end(), parent) !=
+        q.relations.end();
+    if (parent.empty() || !parent_in) {
+      if (!top.empty()) {
+        return Status::InvalidArgument(
+            "query relations do not form a connected subtree: both '" + top +
+            "' and '" + rel + "' lack an in-query parent");
+      }
+      top = rel;
+    }
+  }
+  SAM_ASSIGN_OR_RETURN(std::vector<double> w,
+                       SubtreeWeights(top, q.relations, sat, /*outer=*/false));
+  double total = 0.0;
+  for (double v : w) total += v;
+  return static_cast<int64_t>(std::llround(total));
+}
+
+Result<double> Executor::MeasureLatencySeconds(const Query& q) const {
+  // The same pipeline as Cardinality: per-query hash build + probe, which is
+  // the work a row-store DBMS performs for these COUNT(*) queries. Timing the
+  // whole call includes predicate compilation, as a planner would.
+  Stopwatch watch;
+  SAM_ASSIGN_OR_RETURN(int64_t card, Cardinality(q));
+  (void)card;
+  return watch.ElapsedSeconds();
+}
+
+int64_t Executor::FullOuterJoinSize() const {
+  const std::vector<std::string> roots = graph_.Roots();
+  double total = 0.0;
+  std::unordered_map<std::string, std::vector<char>> no_preds;
+  for (const auto& root : roots) {
+    auto w = SubtreeWeights(root, graph_.Subtree(root), no_preds, /*outer=*/true);
+    SAM_CHECK(w.ok()) << w.status().ToString();
+    for (double v : w.ValueOrDie()) total += v;
+  }
+  return static_cast<int64_t>(std::llround(total));
+}
+
+
+Result<Table> Executor::MaterializeFullOuterJoin(size_t max_rows) const {
+  // Iterative-recursive expansion threading the chosen row of every relation.
+  const std::vector<std::string> order = graph_.TopologicalOrder();
+  // Column layout.
+  std::vector<std::pair<std::string, std::string>> content_cols;
+  std::vector<std::string> fk_rels;
+  for (const auto& rel : order) {
+    const Table* t = db_->FindTable(rel);
+    for (const auto& cname : t->ContentColumnNames()) {
+      content_cols.emplace_back(rel, cname);
+    }
+    if (!graph_.Parent(rel).empty()) fk_rels.push_back(rel);
+  }
+  const size_t width = content_cols.size() + 2 * fk_rels.size();
+  std::vector<std::vector<Value>> rows;
+
+  // chosen[rel] = row id or -1 (null-extended).
+  std::unordered_map<std::string, int64_t> chosen;
+
+  // Recursive lambda over the topological order.
+  Status status = Status::OK();
+  std::function<void(size_t)> expand = [&](size_t pos) {
+    if (!status.ok()) return;
+    if (pos == order.size()) {
+      if (rows.size() >= max_rows) {
+        status = Status::OutOfRange("full outer join exceeds max_rows (" +
+                                    std::to_string(max_rows) + ")");
+        return;
+      }
+      // Emit one FOJ row from `chosen`.
+      std::vector<Value> row(width);
+      for (size_t i = 0; i < content_cols.size(); ++i) {
+        const auto& [rel, cname] = content_cols[i];
+        const int64_t r = chosen.at(rel);
+        row[i] = (r < 0) ? Value::Null()
+                         : db_->FindTable(rel)->FindColumn(cname)->ValueAt(
+                               static_cast<size_t>(r));
+      }
+      for (size_t i = 0; i < fk_rels.size(); ++i) {
+        const std::string& rel = fk_rels[i];
+        const int64_t r = chosen.at(rel);
+        row[content_cols.size() + i] = Value(static_cast<int64_t>(r >= 0 ? 1 : 0));
+        int64_t fanout = 1;
+        if (r >= 0) {
+          const JoinGraph::Edge* e = graph_.ParentEdge(rel);
+          const Column* fk =
+              db_->FindTable(rel)->FindColumn(e->child_column);
+          const auto& index = fk_indexes_.at(e->parent + "->" + rel).rows_by_key;
+          auto it = index.find(fk->ValueAt(static_cast<size_t>(r)).AsInt());
+          fanout = (it == index.end()) ? 1 : static_cast<int64_t>(it->second.size());
+        }
+        row[content_cols.size() + fk_rels.size() + i] = Value(fanout);
+      }
+      rows.push_back(std::move(row));
+      return;
+    }
+    const std::string& rel = order[pos];
+    const std::string parent = graph_.Parent(rel);
+    if (parent.empty()) {
+      const Table* t = db_->FindTable(rel);
+      for (size_t r = 0; r < t->num_rows() && status.ok(); ++r) {
+        chosen[rel] = static_cast<int64_t>(r);
+        expand(pos + 1);
+      }
+      return;
+    }
+    const int64_t parent_row = chosen.at(parent);
+    if (parent_row < 0) {
+      // Parent absent: this relation is absent too.
+      chosen[rel] = -1;
+      expand(pos + 1);
+      return;
+    }
+    const JoinGraph::Edge* e = graph_.ParentEdge(rel);
+    const Column* pk = db_->FindTable(parent)->FindColumn(e->parent_column);
+    const auto& index = fk_indexes_.at(parent + "->" + rel).rows_by_key;
+    auto it = index.find(pk->ValueAt(static_cast<size_t>(parent_row)).AsInt());
+    if (it == index.end() || it->second.empty()) {
+      chosen[rel] = -1;
+      expand(pos + 1);
+      return;
+    }
+    for (uint32_t r : it->second) {
+      if (!status.ok()) return;
+      chosen[rel] = static_cast<int64_t>(r);
+      expand(pos + 1);
+    }
+  };
+  expand(0);
+  SAM_RETURN_NOT_OK(status);
+
+  // Assemble the output table column-by-column.
+  Table out("full_outer_join");
+  for (size_t i = 0; i < width; ++i) {
+    std::vector<Value> col_values;
+    col_values.reserve(rows.size());
+    for (const auto& row : rows) col_values.push_back(row[i]);
+    std::string name;
+    ColumnType type = ColumnType::kInt;
+    if (i < content_cols.size()) {
+      const auto& [rel, cname] = content_cols[i];
+      name = rel + "." + cname;
+      const Table* t = db_->FindTable(rel);
+      SAM_ASSIGN_OR_RETURN(size_t ci, t->ColumnIndex(cname));
+      type = t->column(ci).type();
+    } else if (i < content_cols.size() + fk_rels.size()) {
+      name = "I(" + fk_rels[i - content_cols.size()] + ")";
+    } else {
+      name = "F(" + fk_rels[i - content_cols.size() - fk_rels.size()] + ")";
+    }
+    SAM_RETURN_NOT_OK(out.AddColumn(Column::FromValues(name, type, col_values)));
+  }
+  return out;
+}
+
+}  // namespace sam

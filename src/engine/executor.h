@@ -1,0 +1,93 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "query/query.h"
+#include "storage/database.h"
+
+namespace sam {
+
+/// \brief Compiled form of a predicate against a concrete column: a code
+/// interval plus an optional code set (IN lists).
+///
+/// Dictionary order equals value order, so range predicates compile to code
+/// ranges and row evaluation is a pair of integer compares.
+struct CodePredicate {
+  size_t column_index = 0;
+  int32_t lo = 0;            ///< Inclusive lower code bound.
+  int32_t hi = 0;            ///< Inclusive upper code bound.
+  bool use_set = false;
+  std::vector<int32_t> code_set;  ///< Sorted codes, for kIn.
+
+  bool Matches(int32_t code) const;
+};
+
+/// \brief Compiles `pred` against `table`; fails for unknown columns.
+Result<CodePredicate> CompilePredicate(const Table& table, const Predicate& pred);
+
+/// \brief Cardinality and latency evaluation over a database.
+///
+/// The evaluator serves three roles in the reproduction:
+///  1. label the training/test workloads with true cardinalities,
+///  2. evaluate generated databases (Q-Error of constraints, §5.3/5.4),
+///  3. emulate the paper's PostgreSQL latency experiment (§5.4, Tables 8/9)
+///     with a fresh-build hash-join pipeline per query.
+class Executor {
+ public:
+  /// Builds FK hash indexes for fast repeated cardinality evaluation.
+  /// The database must outlive the executor.
+  static Result<std::unique_ptr<Executor>> Create(const Database* db);
+
+  /// True cardinality of `q`. Multi-relation queries must form a connected
+  /// subtree of the join graph.
+  Result<int64_t> Cardinality(const Query& q) const;
+
+  /// Executes `q` with per-query hash-join build (no precomputed indexes) and
+  /// returns wall-clock seconds; used for the performance-deviation metric.
+  Result<double> MeasureLatencySeconds(const Query& q) const;
+
+  /// Size of the full outer join of all relations (computed analytically,
+  /// never materialised).
+  int64_t FullOuterJoinSize() const;
+
+  /// \brief Materialises the full outer join as a table with namespaced
+  /// content columns ("T.col"), plus one indicator column "I(T)" per FK
+  /// relation and one fanout column "F(T.key)" per FK (§4.1, Figure 3b).
+  ///
+  /// Intended for tests and tiny databases; fails when the FOJ exceeds
+  /// `max_rows`.
+  Result<Table> MaterializeFullOuterJoin(size_t max_rows = 1 << 20) const;
+
+  const JoinGraph& join_graph() const { return graph_; }
+
+ private:
+  explicit Executor(const Database* db) : db_(db) {}
+  Status Init();
+
+  /// Per-row satisfaction bitmap of the conjunction of `q`'s predicates on
+  /// `table`.
+  Result<std::vector<char>> EvalPredicates(const Query& q, const Table& table) const;
+
+  /// Bottom-up per-row weights for the (sub)tree of relations in `rels`,
+  /// with `sat` giving per-table predicate bitmaps. When `outer` is true,
+  /// childless matches count as 1 (full outer join semantics); inner join
+  /// otherwise.
+  Result<std::vector<double>> SubtreeWeights(
+      const std::string& table, const std::vector<std::string>& rels,
+      const std::unordered_map<std::string, std::vector<char>>& sat,
+      bool outer) const;
+
+  const Database* db_;
+  JoinGraph graph_;
+  /// For each edge (keyed "parent->child"): child rows grouped by FK value.
+  struct FkIndex {
+    std::unordered_map<int64_t, std::vector<uint32_t>> rows_by_key;
+  };
+  std::unordered_map<std::string, FkIndex> fk_indexes_;
+};
+
+}  // namespace sam

@@ -1,0 +1,90 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace sam {
+
+/// \brief Dense row-major matrix of doubles.
+///
+/// The linear-algebra substrate backs both the autodiff engine (as raw
+/// buffers) and the PGM baseline's constraint solver. It deliberately keeps a
+/// small surface: the project needs dense GEMM, transposed products, and
+/// factorization-based solvers, not a full BLAS.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  static Matrix Identity(size_t n) {
+    Matrix m(n, n);
+    for (size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+    return m;
+  }
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+
+  double& operator()(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double operator()(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  /// Pointer to the start of row `r`.
+  double* row(size_t r) { return data_.data() + r * cols_; }
+  const double* row(size_t r) const { return data_.data() + r * cols_; }
+
+  bool operator==(const Matrix& o) const {
+    return rows_ == o.rows_ && cols_ == o.cols_ && data_ == o.data_;
+  }
+
+  /// C = A * B.
+  static Matrix Multiply(const Matrix& a, const Matrix& b);
+
+  /// C = A^T * B without materialising A^T.
+  static Matrix TransposeMultiply(const Matrix& a, const Matrix& b);
+
+  /// C = A * B^T without materialising B^T.
+  static Matrix MultiplyTranspose(const Matrix& a, const Matrix& b);
+
+  Matrix Transposed() const;
+
+  /// y = A * x for a vector x (as std::vector).
+  std::vector<double> Apply(const std::vector<double>& x) const;
+
+  /// y = A^T * x.
+  std::vector<double> ApplyTranspose(const std::vector<double>& x) const;
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// \brief Cholesky factorization A = L L^T of a symmetric positive-definite
+/// matrix. Returns false when A is not (numerically) SPD.
+bool CholeskyFactor(const Matrix& a, Matrix* l);
+
+/// \brief Solves A x = b given the Cholesky factor L of A.
+std::vector<double> CholeskySolve(const Matrix& l, const std::vector<double>& b);
+
+/// \brief Least-squares solve of min ||A x - b||^2 via normal equations with
+/// Tikhonov damping `ridge` (required because PGM constraint systems are
+/// typically rank-deficient).
+std::vector<double> LeastSquares(const Matrix& a, const std::vector<double>& b,
+                                 double ridge = 1e-8);
+
+/// \brief Non-negative least squares min ||A x - b||^2 s.t. x >= 0 via
+/// projected gradient with backtracking. Used to fit PGM clique marginals,
+/// which must be valid (non-negative) probability masses.
+std::vector<double> NonNegativeLeastSquares(const Matrix& a,
+                                            const std::vector<double>& b,
+                                            int max_iters = 500,
+                                            double tol = 1e-10);
+
+}  // namespace sam

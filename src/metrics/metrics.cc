@@ -1,0 +1,136 @@
+#include "metrics/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace sam {
+
+double QError(double estimate, double truth) {
+  const double e = std::max(estimate, 1.0);
+  const double t = std::max(truth, 1.0);
+  return std::max(e / t, t / e);
+}
+
+MetricSummary Summarize(std::vector<double> values) {
+  MetricSummary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  std::sort(values.begin(), values.end());
+  auto percentile = [&](double p) {
+    const double pos = p * static_cast<double>(values.size() - 1);
+    const size_t lo = static_cast<size_t>(pos);
+    const size_t hi = std::min(lo + 1, values.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return values[lo] * (1.0 - frac) + values[hi] * frac;
+  };
+  s.median = percentile(0.5);
+  s.p75 = percentile(0.75);
+  s.p90 = percentile(0.9);
+  s.p95 = percentile(0.95);
+  s.max = values.back();
+  double sum = 0;
+  for (double v : values) sum += v;
+  s.mean = sum / static_cast<double>(values.size());
+  return s;
+}
+
+Result<MetricSummary> QErrorOnDatabase(const Executor& generated_executor,
+                                       const Workload& workload) {
+  std::vector<double> errors;
+  errors.reserve(workload.size());
+  for (const auto& q : workload) {
+    SAM_ASSIGN_OR_RETURN(int64_t card, generated_executor.Cardinality(q));
+    errors.push_back(QError(static_cast<double>(card),
+                            static_cast<double>(q.cardinality)));
+  }
+  return Summarize(std::move(errors));
+}
+
+namespace {
+
+/// Canonical string of a tuple over the selected columns; NULL-safe.
+std::string TupleKey(const Table& t, const std::vector<size_t>& col_idx, size_t row) {
+  std::string key;
+  for (size_t ci : col_idx) {
+    key += t.column(ci).ValueAt(row).ToString();
+    key += '\x1f';
+  }
+  return key;
+}
+
+}  // namespace
+
+Result<double> CrossEntropyBits(const Table& original, const Table& generated,
+                                const std::vector<std::string>& columns,
+                                double epsilon) {
+  if (original.num_rows() == 0 || generated.num_rows() == 0) {
+    return Status::InvalidArgument("cross entropy of empty relation");
+  }
+  std::vector<size_t> orig_idx, gen_idx;
+  for (const auto& c : columns) {
+    SAM_ASSIGN_OR_RETURN(size_t oi, original.ColumnIndex(c));
+    SAM_ASSIGN_OR_RETURN(size_t gi, generated.ColumnIndex(c));
+    orig_idx.push_back(oi);
+    gen_idx.push_back(gi);
+  }
+  // Frequency of each generated tuple, plus per-column marginals for the
+  // backoff estimate: for wide relations almost no full tuple repeats
+  // exactly, so a pure joint-frequency estimate saturates at the epsilon
+  // floor for every method. When the joint count is zero we back off to the
+  // product of the generated per-column marginal frequencies, which still
+  // ranks generators by distributional closeness.
+  std::unordered_map<std::string, double> gen_freq;
+  gen_freq.reserve(generated.num_rows());
+  std::vector<std::unordered_map<std::string, double>> marginal(gen_idx.size());
+  for (size_t r = 0; r < generated.num_rows(); ++r) {
+    gen_freq[TupleKey(generated, gen_idx, r)] += 1.0;
+    for (size_t k = 0; k < gen_idx.size(); ++k) {
+      marginal[k][generated.column(gen_idx[k]).ValueAt(r).ToString()] += 1.0;
+    }
+  }
+  const double gen_n = static_cast<double>(generated.num_rows());
+  double h = 0.0;
+  for (size_t r = 0; r < original.num_rows(); ++r) {
+    const auto it = gen_freq.find(TupleKey(original, orig_idx, r));
+    double sel;
+    if (it != gen_freq.end()) {
+      sel = it->second / gen_n;
+    } else {
+      sel = 1.0;
+      for (size_t k = 0; k < orig_idx.size(); ++k) {
+        const auto mit = marginal[k].find(
+            original.column(orig_idx[k]).ValueAt(r).ToString());
+        const double p =
+            (mit == marginal[k].end()) ? epsilon : mit->second / gen_n;
+        sel *= std::max(p, epsilon);
+      }
+    }
+    h -= std::log2(std::max(sel, epsilon * epsilon));
+  }
+  return h / static_cast<double>(original.num_rows());
+}
+
+Result<MetricSummary> PerformanceDeviationMs(const Executor& original_executor,
+                                             const Executor& generated_executor,
+                                             const Workload& workload,
+                                             int repeats) {
+  std::vector<double> deviations;
+  deviations.reserve(workload.size());
+  for (const auto& q : workload) {
+    double orig = 0.0;
+    double gen = 0.0;
+    for (int i = 0; i < repeats; ++i) {
+      SAM_ASSIGN_OR_RETURN(double lo, original_executor.MeasureLatencySeconds(q));
+      SAM_ASSIGN_OR_RETURN(double lg, generated_executor.MeasureLatencySeconds(q));
+      orig += lo;
+      gen += lg;
+    }
+    orig /= repeats;
+    gen /= repeats;
+    deviations.push_back(std::fabs(gen - orig) * 1e3);
+  }
+  return Summarize(std::move(deviations));
+}
+
+}  // namespace sam

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/executor.h"
+#include "query/query.h"
+#include "storage/table.h"
+
+namespace sam {
+
+/// \brief Q-Error between an estimate and a true cardinality (Moerkotte et
+/// al.), with both sides clamped at 1 so zero cardinalities are defined —
+/// the convention used by the cardinality-estimation literature the paper
+/// builds on.
+double QError(double estimate, double truth);
+
+/// \brief Percentile summary of a metric sample, matching the columns the
+/// paper reports (median / 75th / 90th / mean / max).
+struct MetricSummary {
+  double median = 0;
+  double p75 = 0;
+  double p90 = 0;
+  double p95 = 0;
+  double mean = 0;
+  double max = 0;
+  size_t count = 0;
+};
+
+/// Computes the summary; the input need not be sorted.
+MetricSummary Summarize(std::vector<double> values);
+
+/// \brief Q-Error summary of `workload` evaluated against `generated`: each
+/// query's stored cardinality (observed on the original database) is compared
+/// with its cardinality on the generated database. This is the paper's
+/// fidelity metric (A1) when `workload` is the training input, and the
+/// database-recovery metric (A2) when it is an unseen test workload.
+Result<MetricSummary> QErrorOnDatabase(const Executor& generated_executor,
+                                       const Workload& workload);
+
+/// \brief Cross entropy H(T, T-hat) in bits between the discrete tuple
+/// distributions of an original and a generated relation (Eq. 1), restricted
+/// to `columns` (content columns; join keys carry no distributional meaning).
+///
+/// Eq. 1 is unbounded when a tuple of T never appears in T-hat, which is the
+/// common case for wide relations. Missing tuples back off to the product of
+/// the generated per-column marginal frequencies (each floored at `epsilon`),
+/// so the metric keeps discriminating between generators instead of
+/// saturating at the smoothing floor.
+Result<double> CrossEntropyBits(const Table& original, const Table& generated,
+                                const std::vector<std::string>& columns,
+                                double epsilon = 1e-9);
+
+/// \brief Per-query |latency(generated) - latency(original)| in milliseconds
+/// (the paper's "performance deviation", Tables 8/9). `repeats` runs are
+/// averaged per query per database to stabilise timings.
+Result<MetricSummary> PerformanceDeviationMs(const Executor& original_executor,
+                                             const Executor& generated_executor,
+                                             const Workload& workload,
+                                             int repeats = 3);
+
+}  // namespace sam

@@ -1,0 +1,102 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ar/model_schema.h"
+#include "common/result.h"
+#include "query/query.h"
+#include "storage/database.h"
+
+namespace sam {
+
+/// \brief Options for the PGM baseline (Arasu, Kaushik, Li — the chordal
+/// graph method the paper compares against, §2.3).
+struct PgmOptions {
+  /// Projected-gradient iterations for the non-negative constraint solve.
+  int solver_iterations = 1500;
+  /// Abort when any clique's joint table would exceed this many cells —
+  /// the method's intrinsic blow-up (Limitation 2).
+  size_t max_cells_per_clique = 2000000;
+  /// Abort fitting when this wall-clock budget (seconds) is exceeded
+  /// (0 = unlimited). Mirrors the paper's fixed-time-frame protocol.
+  double time_budget_seconds = 0;
+  uint64_t seed = 555;
+};
+
+/// \brief PGM-based database generator.
+///
+/// Single relation: builds a Markov network over the filtered attributes
+/// (edge = two attributes co-filtered in a constraint), triangulates it
+/// (min-fill), extracts maximal cliques, fits per-clique bucketised joint
+/// distributions to the selectivity constraints by non-negative least squares
+/// over the induced linear system, and samples tuples through the junction
+/// tree.
+///
+/// Multiple relations: one independent model per *view* (relation set) seen
+/// in the workload; base relations are generated from their own view and
+/// join keys are derived by matching content against pairwise views — which
+/// is exactly what loses cross-view consistency (Limitation 3).
+class PgmModel {
+ public:
+  /// Fits the baseline. `view_sizes` maps a canonical view key (relation
+  /// names sorted, comma-joined) to the unfiltered join size — catalog
+  /// metadata also assumed by SAM (|T|, |FOJ|).
+  static Result<std::unique_ptr<PgmModel>> Fit(
+      const Database& db, const Workload& train, const SchemaHints& hints,
+      const std::map<std::string, int64_t>& view_sizes,
+      const PgmOptions& options);
+
+  /// Generates the synthetic database.
+  Result<Database> Generate() const;
+
+  /// Total number of solver unknowns across every view model (the quantity
+  /// whose growth makes the baseline intractable; reported by Figure 5's
+  /// harness).
+  size_t total_cells() const;
+
+  /// Number of views modelled.
+  size_t num_views() const;
+
+ private:
+  struct ViewModel {
+    std::vector<std::string> relations;   ///< Sorted.
+    int64_t view_size = 0;
+    ModelSchema schema;                   ///< Encodings for this view's literals.
+    std::vector<size_t> var_cols;         ///< Content model-column indices used.
+    std::vector<std::vector<size_t>> cliques;      ///< Indices into var_cols.
+    std::vector<std::pair<size_t, size_t>> jt_edges;  ///< Junction tree.
+    std::vector<std::vector<double>> dist;         ///< Per-clique joint PMF.
+  };
+
+  /// Builds graph, triangulation and cliques for one view from its queries.
+  static Result<ViewModel> FitView(const Database& db,
+                                   const std::vector<std::string>& relations,
+                                   const Workload& queries,
+                                   const SchemaHints& hints, int64_t view_size,
+                                   const PgmOptions& options);
+
+  /// Samples `count` tuples (code per var) from a fitted view model.
+  static std::vector<std::vector<int32_t>> SampleView(const ViewModel& view,
+                                                      size_t count, Rng* rng);
+
+  PgmModel() = default;
+
+  std::vector<ViewModel> views_;
+  PgmOptions options_;
+  /// Layouts of the original tables for output assembly.
+  struct TableLayout {
+    std::string name;
+    std::vector<std::string> column_names;
+    std::vector<ColumnType> column_types;
+    std::string pk;
+    std::vector<ForeignKey> fks;
+    int64_t size = 0;
+  };
+  std::vector<TableLayout> layouts_;
+  JoinGraph graph_;
+};
+
+}  // namespace sam

@@ -1,0 +1,47 @@
+#include "query/disjunction.h"
+
+#include <algorithm>
+
+namespace sam {
+
+Query IntersectQueries(const Query& a, const Query& b) {
+  Query out;
+  out.relations = a.relations;
+  for (const auto& rel : b.relations) {
+    if (!out.InvolvesRelation(rel)) out.relations.push_back(rel);
+  }
+  out.predicates = a.predicates;
+  out.predicates.insert(out.predicates.end(), b.predicates.begin(),
+                        b.predicates.end());
+  return out;
+}
+
+Result<double> InclusionExclusionCardinality(
+    const DisjunctiveQuery& dq,
+    const std::function<Result<double>(const Query&)>& conjunctive_card) {
+  const size_t n = dq.disjuncts.size();
+  if (n == 0) return 0.0;
+  if (n > 20) {
+    return Status::InvalidArgument(
+        "inclusion-exclusion limited to 20 disjuncts (2^n terms)");
+  }
+  double total = 0.0;
+  for (uint32_t mask = 1; mask < (1u << n); ++mask) {
+    Query intersection;
+    bool first = true;
+    int bits = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if ((mask >> i) & 1u) {
+        ++bits;
+        intersection = first ? dq.disjuncts[i]
+                             : IntersectQueries(intersection, dq.disjuncts[i]);
+        first = false;
+      }
+    }
+    SAM_ASSIGN_OR_RETURN(double card, conjunctive_card(intersection));
+    total += (bits % 2 == 1) ? card : -card;
+  }
+  return std::max(total, 0.0);
+}
+
+}  // namespace sam

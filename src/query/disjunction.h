@@ -1,0 +1,40 @@
+#pragma once
+
+#include <functional>
+
+#include "common/result.h"
+#include "query/query.h"
+
+namespace sam {
+
+/// \brief A disjunction (OR) of conjunctive queries over the same join
+/// schema.
+///
+/// The paper supports disjunctions "using the inclusion-exclusion principle"
+/// (§2.2): |q1 OR q2 OR ...| is expanded into signed cardinalities of
+/// conjunctive intersections, each of which the executor / AR estimator can
+/// handle directly.
+struct DisjunctiveQuery {
+  std::vector<Query> disjuncts;
+
+  /// Observed cardinality of the union (optional label).
+  int64_t cardinality = -1;
+};
+
+/// \brief Conjunction of two conjunctive queries: the union of their relation
+/// sets (which must remain a connected subtree for execution) and the
+/// concatenation of their predicates.
+Query IntersectQueries(const Query& a, const Query& b);
+
+/// \brief Cardinality (or estimate) of every conjunctive subset intersection,
+/// combined by inclusion-exclusion:
+///   |U q_i| = sum_{S != {}} (-1)^{|S|+1} |AND_{i in S} q_i|.
+///
+/// `conjunctive_card` supplies the cardinality of one conjunctive query —
+/// pass the executor's `Cardinality` for exact counts, or the AR estimator
+/// for model-based estimates. Limited to 20 disjuncts (2^n expansion).
+Result<double> InclusionExclusionCardinality(
+    const DisjunctiveQuery& dq,
+    const std::function<Result<double>(const Query&)>& conjunctive_card);
+
+}  // namespace sam

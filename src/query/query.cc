@@ -1,0 +1,69 @@
+#include "query/query.h"
+
+#include <algorithm>
+
+namespace sam {
+
+const char* PredOpToString(PredOp op) {
+  switch (op) {
+    case PredOp::kEq:
+      return "=";
+    case PredOp::kLe:
+      return "<=";
+    case PredOp::kGe:
+      return ">=";
+    case PredOp::kLt:
+      return "<";
+    case PredOp::kGt:
+      return ">";
+    case PredOp::kIn:
+      return "IN";
+  }
+  return "?";
+}
+
+std::string Predicate::ToString() const {
+  std::string out = table + "." + column + " " + PredOpToString(op) + " ";
+  if (op == PredOp::kIn) {
+    out += "(";
+    for (size_t i = 0; i < in_list.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += in_list[i].ToString();
+    }
+    out += ")";
+  } else {
+    out += literal.ToString();
+  }
+  return out;
+}
+
+bool Query::InvolvesRelation(const std::string& table) const {
+  return std::find(relations.begin(), relations.end(), table) != relations.end();
+}
+
+std::vector<const Predicate*> Query::PredicatesOn(const std::string& table) const {
+  std::vector<const Predicate*> out;
+  for (const auto& p : predicates) {
+    if (p.table == table) out.push_back(&p);
+  }
+  return out;
+}
+
+std::string Query::ToString() const {
+  std::string out = "SELECT COUNT(*) FROM ";
+  for (size_t i = 0; i < relations.size(); ++i) {
+    if (i > 0) out += " JOIN ";
+    out += relations[i];
+  }
+  if (!predicates.empty()) {
+    out += " WHERE ";
+    for (size_t i = 0; i < predicates.size(); ++i) {
+      if (i > 0) out += " AND ";
+      out += predicates[i].ToString();
+    }
+  }
+  if (cardinality >= 0) out += "  -- card=" + std::to_string(cardinality);
+  return out;
+}
+
+}  // namespace sam

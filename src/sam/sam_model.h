@@ -1,0 +1,134 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ar/dps_trainer.h"
+#include "ar/made.h"
+#include "ar/model_schema.h"
+#include "common/result.h"
+#include "storage/database.h"
+
+namespace sam {
+
+/// \brief End-to-end configuration of SAM.
+struct SamOptions {
+  MadeModel::Options model;
+  DpsOptions training;
+
+  /// Batch size for sampling during generation (Alg 1/2 are embarrassingly
+  /// parallel; batching amortises the model forward passes).
+  size_t generation_batch = 1024;
+  /// Number of full-outer-join samples k drawn for multi-relation generation
+  /// (Alg 2). The paper samples ~1/20,000 of the FOJ.
+  size_t foj_samples = 100000;
+  /// Toggle for the Group-and-Merge join-key assignment (Alg 3). When off,
+  /// keys are derived from pairwise (pk-relation, fk-relation) views — the
+  /// paper's "SAM w/o Group-and-Merge" ablation (§4.3.2 / §5.5).
+  bool use_group_and_merge = true;
+  /// Force content/fanout columns of an absent relation (indicator 0) to
+  /// NULL/1 while sampling. Matches FOJ semantics exactly, but overriding a
+  /// sampled code conditions the remaining columns on inputs the model never
+  /// produces itself; the ablation bench shows this inflates tail errors on
+  /// imperfectly trained models, so the default trusts the model (a
+  /// well-trained model emits NULL/1 for absent relations on its own).
+  bool enforce_null_consistency = false;
+  /// When a Group-and-Merge group ends with accumulated weight below 1 it
+  /// becomes a "leftover" merge set; leftovers are assigned keys in
+  /// descending-weight order until the keyed relation reaches |T| tuples
+  /// (Alg 2's size guarantee). This threshold only gates the final fractional
+  /// tuple of *unkeyed* leaf relations.
+  double leftover_key_threshold = 0.5;
+  /// Worker threads for FOJ sampling (Alg 1/2 are "embarrassingly parallel",
+  /// §4.2). Each shard derives its own deterministic RNG from
+  /// `generation_seed`, so results are reproducible for a fixed thread count.
+  size_t sampler_threads = 1;
+  uint64_t generation_seed = 999;
+};
+
+/// \brief SAM: a supervised autoregressive database generator (the paper's
+/// headline system).
+///
+/// Learning stage: an AR model of the (full-outer-join) data distribution is
+/// trained from (query, cardinality) pairs with differentiable progressive
+/// sampling. Generation stage: FOJ tuples are sampled from the model,
+/// de-biased per base relation with inverse probability weighting, scaled to
+/// the true relation sizes, and join keys are assigned with Group-and-Merge.
+class SamModel {
+ public:
+  /// Builds an *untrained* SAM for `db`'s schema metadata (table/column
+  /// definitions, table sizes, join graph — never cell data). `train` only
+  /// supplies the predicate literals that define column domains. Useful for
+  /// loading saved weights and for unit tests.
+  static Result<std::unique_ptr<SamModel>> Create(const Database& db,
+                                                  const Workload& train,
+                                                  const SchemaHints& hints,
+                                                  int64_t foj_size,
+                                                  const SamOptions& options);
+
+  /// Builds and trains SAM from the labelled workload with DPS.
+  /// `foj_size` is the catalog full-outer-join size (|T| for one relation).
+  static Result<std::unique_ptr<SamModel>> Train(
+      const Database& db, const Workload& train, const SchemaHints& hints,
+      int64_t foj_size, const SamOptions& options,
+      const DpsCallback& callback = {});
+
+  /// Cardinality estimate for `q` via progressive sampling (diagnostic; the
+  /// generated database itself is the product).
+  Result<double> EstimateCardinality(const Query& q, size_t paths = 200) const;
+
+  /// Generates a synthetic database: Alg 1 for single-relation schemas,
+  /// Alg 2 + Alg 3 for multi-relation schemas.
+  Result<Database> Generate() const;
+
+  const ModelSchema& schema() const { return schema_; }
+  MadeModel* model() { return model_.get(); }
+  const std::vector<DpsEpochStats>& training_stats() const { return stats_; }
+
+  /// \brief One sampled FOJ tuple set as raw model codes (k x num_columns),
+  /// exposed for tests and the ablation harness.
+  struct FojSample {
+    std::vector<std::vector<int32_t>> codes;  ///< [column][sample].
+    size_t count = 0;
+  };
+
+  /// Samples `k` FOJ tuples from the model (step 1 of Alg 2).
+  FojSample SampleFoj(size_t k, Rng* rng) const;
+
+  /// Inverse-probability weight of relation `table` for sample `s` (Eq. 4);
+  /// 0 when the relation is absent (indicator 0).
+  double InverseProbabilityWeight(const FojSample& foj, const std::string& table,
+                                  size_t s) const;
+
+  /// Steps 2-4 of multi-relation generation (IPW, scaling, Group-and-Merge or
+  /// the view-based ablation) applied to the given FOJ samples. Exposed so
+  /// tests and ablation harnesses can inject exact FOJ tuples.
+  Result<Database> GenerateFromFoj(const FojSample& foj, Rng* rng) const;
+
+ private:
+  SamModel(ModelSchema schema, SamOptions options)
+      : schema_(std::move(schema)), options_(options) {}
+
+  Result<Database> GenerateSingleRelation(Rng* rng) const;
+  Result<Database> GenerateMultiRelation(Rng* rng) const;
+
+  /// Model-column indices of Identifier(T.pk) per Theorem 2.
+  std::vector<size_t> IdentifierColumns(const std::string& table) const;
+
+  ModelSchema schema_;
+  SamOptions options_;
+  std::unique_ptr<MadeModel> model_;
+  std::vector<DpsEpochStats> stats_;
+  /// Original column order per table, to lay out generated tables.
+  struct TableLayout {
+    std::string name;
+    std::vector<std::string> column_names;
+    std::vector<ColumnType> column_types;
+    std::string pk;                 ///< Empty when none.
+    std::vector<ForeignKey> fks;
+  };
+  std::vector<TableLayout> layouts_;
+};
+
+}  // namespace sam

@@ -1,0 +1,65 @@
+#include "storage/column.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.h"
+
+namespace sam {
+
+Column Column::FromValues(std::string name, ColumnType type,
+                          const std::vector<Value>& values) {
+  Column col(std::move(name), type);
+  // Collect distinct non-null values in sorted order; std::map keeps the
+  // dictionary sorted without a second pass.
+  std::map<Value, int32_t> dict_map;
+  for (const auto& v : values) {
+    if (!v.is_null()) dict_map.emplace(v, 0);
+  }
+  col.dict_.reserve(dict_map.size());
+  int32_t next = 0;
+  for (auto& [v, code] : dict_map) {
+    code = next++;
+    col.dict_.push_back(v);
+  }
+  col.codes_.reserve(values.size());
+  for (const auto& v : values) {
+    col.codes_.push_back(v.is_null() ? kNullCode : dict_map[v]);
+  }
+  return col;
+}
+
+Column Column::FromCodes(std::string name, ColumnType type,
+                         std::vector<Value> dictionary, std::vector<int32_t> codes) {
+  Column col(std::move(name), type);
+#ifndef NDEBUG
+  for (size_t i = 1; i < dictionary.size(); ++i) {
+    SAM_CHECK(dictionary[i - 1] < dictionary[i]) << "dictionary must be sorted";
+  }
+  for (int32_t c : codes) {
+    SAM_CHECK(c == kNullCode ||
+              (c >= 0 && c < static_cast<int32_t>(dictionary.size())));
+  }
+#endif
+  col.dict_ = std::move(dictionary);
+  col.codes_ = std::move(codes);
+  return col;
+}
+
+int32_t Column::CodeOf(const Value& v) const {
+  auto it = std::lower_bound(dict_.begin(), dict_.end(), v);
+  if (it == dict_.end() || !(*it == v)) return -1;
+  return static_cast<int32_t>(it - dict_.begin());
+}
+
+int32_t Column::LowerBoundCode(const Value& v) const {
+  auto it = std::lower_bound(dict_.begin(), dict_.end(), v);
+  return static_cast<int32_t>(it - dict_.begin());
+}
+
+int32_t Column::UpperBoundCode(const Value& v) const {
+  auto it = std::upper_bound(dict_.begin(), dict_.end(), v);
+  return static_cast<int32_t>(it - dict_.begin());
+}
+
+}  // namespace sam

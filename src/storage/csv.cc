@@ -1,0 +1,97 @@
+#include "storage/csv.h"
+
+#include <cstdlib>
+#include <fstream>
+
+#include "common/string_util.h"
+
+namespace sam {
+
+Status WriteCsv(const Table& table, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    if (c > 0) out << ',';
+    out << table.column(c).name();
+  }
+  out << '\n';
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      if (c > 0) out << ',';
+      const Value v = table.column(c).ValueAt(r);
+      if (!v.is_null()) out << v.ToString();
+    }
+    out << '\n';
+  }
+  if (!out) return Status::IOError("write failed for '" + path + "'");
+  return Status::OK();
+}
+
+Result<Table> ReadCsv(const std::string& name, const std::string& path,
+                      const std::vector<ColumnType>& types) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open '" + path + "'");
+  std::string line;
+  if (!std::getline(in, line)) return Status::IOError("empty CSV '" + path + "'");
+  const std::vector<std::string> header = Split(line, ',');
+  if (header.size() != types.size()) {
+    return Status::InvalidArgument("CSV '" + path + "' has " +
+                                   std::to_string(header.size()) +
+                                   " columns, expected " +
+                                   std::to_string(types.size()));
+  }
+  std::vector<std::vector<Value>> cols(header.size());
+  size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const std::vector<std::string> fields = Split(line, ',');
+    if (fields.size() != header.size()) {
+      return Status::InvalidArgument("CSV '" + path + "' line " +
+                                     std::to_string(line_no) +
+                                     ": wrong field count");
+    }
+    for (size_t c = 0; c < fields.size(); ++c) {
+      const std::string field(Trim(fields[c]));
+      if (field.empty()) {
+        cols[c].push_back(Value::Null());
+        continue;
+      }
+      switch (types[c]) {
+        case ColumnType::kInt: {
+          char* end = nullptr;
+          const long long v = std::strtoll(field.c_str(), &end, 10);
+          if (end == nullptr || *end != '\0') {
+            return Status::InvalidArgument("CSV '" + path + "' line " +
+                                           std::to_string(line_no) +
+                                           ": bad int '" + field + "'");
+          }
+          cols[c].push_back(Value(static_cast<int64_t>(v)));
+          break;
+        }
+        case ColumnType::kDouble: {
+          char* end = nullptr;
+          const double v = std::strtod(field.c_str(), &end);
+          if (end == nullptr || *end != '\0') {
+            return Status::InvalidArgument("CSV '" + path + "' line " +
+                                           std::to_string(line_no) +
+                                           ": bad double '" + field + "'");
+          }
+          cols[c].push_back(Value(v));
+          break;
+        }
+        case ColumnType::kString:
+          cols[c].push_back(Value(field));
+          break;
+      }
+    }
+  }
+  Table table(name);
+  for (size_t c = 0; c < header.size(); ++c) {
+    SAM_RETURN_NOT_OK(
+        table.AddColumn(Column::FromValues(header[c], types[c], cols[c])));
+  }
+  return table;
+}
+
+}  // namespace sam

@@ -1,0 +1,21 @@
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace sam {
+
+/// \brief Writes `table` as a CSV file with a header row. NULLs are written
+/// as empty fields.
+Status WriteCsv(const Table& table, const std::string& path);
+
+/// \brief Reads a CSV with a header row into a table.
+///
+/// `types` gives the column types in file order; fields are parsed
+/// accordingly and empty fields become NULL.
+Result<Table> ReadCsv(const std::string& name, const std::string& path,
+                      const std::vector<ColumnType>& types);
+
+}  // namespace sam

@@ -1,0 +1,99 @@
+#include "storage/database.h"
+
+#include <unordered_set>
+
+namespace sam {
+
+Status Database::AddTable(Table table) {
+  if (FindTable(table.name()) != nullptr) {
+    return Status::AlreadyExists("table '" + table.name() + "'");
+  }
+  tables_.push_back(std::move(table));
+  return Status::OK();
+}
+
+const Table* Database::FindTable(const std::string& name) const {
+  for (const auto& t : tables_) {
+    if (t.name() == name) return &t;
+  }
+  return nullptr;
+}
+
+Table* Database::FindTable(const std::string& name) {
+  for (auto& t : tables_) {
+    if (t.name() == name) return &t;
+  }
+  return nullptr;
+}
+
+Result<const Table*> Database::GetTable(const std::string& name) const {
+  const Table* t = FindTable(name);
+  if (t == nullptr) return Status::NotFound("table '" + name + "'");
+  return t;
+}
+
+Result<JoinGraph> Database::BuildJoinGraph() const {
+  JoinGraph graph;
+  for (const auto& t : tables_) graph.AddRelation(t.name());
+  for (const auto& t : tables_) {
+    for (const auto& fk : t.foreign_keys()) {
+      const Table* parent = FindTable(fk.parent_table);
+      if (parent == nullptr) {
+        return Status::NotFound("FK parent table '" + fk.parent_table + "'");
+      }
+      if (!parent->primary_key() || *parent->primary_key() != fk.parent_column) {
+        return Status::InvalidArgument(
+            "FK " + t.name() + "." + fk.column + " must reference the primary key "
+            "of '" + fk.parent_table + "'");
+      }
+      SAM_RETURN_NOT_OK(graph.AddEdge(JoinGraph::Edge{
+          fk.parent_table, t.name(), fk.parent_column, fk.column}));
+    }
+  }
+  return graph;
+}
+
+Status Database::ValidateIntegrity() const {
+  for (const auto& t : tables_) {
+    if (t.primary_key()) {
+      const Column* pk = t.FindColumn(*t.primary_key());
+      std::unordered_set<int32_t> seen;
+      seen.reserve(pk->num_rows());
+      for (int32_t code : pk->codes()) {
+        if (code == kNullCode) {
+          return Status::InvalidArgument("NULL primary key in '" + t.name() + "'");
+        }
+        if (!seen.insert(code).second) {
+          return Status::InvalidArgument("duplicate primary key in '" + t.name() +
+                                         "'");
+        }
+      }
+    }
+    for (const auto& fk : t.foreign_keys()) {
+      const Table* parent = FindTable(fk.parent_table);
+      if (parent == nullptr) {
+        return Status::NotFound("FK parent table '" + fk.parent_table + "'");
+      }
+      const Column* pk_col = parent->FindColumn(fk.parent_column);
+      const Column* fk_col = t.FindColumn(fk.column);
+      if (pk_col == nullptr || fk_col == nullptr) {
+        return Status::NotFound("FK columns for " + t.name() + "." + fk.column);
+      }
+      std::unordered_set<int64_t> pk_values;
+      pk_values.reserve(pk_col->num_rows());
+      for (size_t r = 0; r < pk_col->num_rows(); ++r) {
+        pk_values.insert(pk_col->ValueAt(r).AsInt());
+      }
+      for (size_t r = 0; r < fk_col->num_rows(); ++r) {
+        const Value v = fk_col->ValueAt(r);
+        if (v.is_null() || pk_values.count(v.AsInt()) == 0) {
+          return Status::InvalidArgument("dangling FK " + t.name() + "." +
+                                         fk.column + " at row " + std::to_string(r));
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace sam

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/join_graph.h"
+#include "storage/table.h"
+
+namespace sam {
+
+/// \brief A collection of relations plus the FK join graph derived from their
+/// key metadata.
+class Database {
+ public:
+  Database() = default;
+
+  /// Adds a table; name must be unique.
+  Status AddTable(Table table);
+
+  size_t num_tables() const { return tables_.size(); }
+  const std::vector<Table>& tables() const { return tables_; }
+
+  const Table* FindTable(const std::string& name) const;
+  Table* FindTable(const std::string& name);
+
+  Result<const Table*> GetTable(const std::string& name) const;
+
+  /// Builds the join graph from the declared foreign keys. Fails when the FK
+  /// metadata is inconsistent (unknown parent, non-forest shape, ...).
+  Result<JoinGraph> BuildJoinGraph() const;
+
+  /// Validates referential integrity: every FK value appears in the parent's
+  /// PK column, and PK columns contain unique non-null values.
+  Status ValidateIntegrity() const;
+
+ private:
+  std::vector<Table> tables_;
+};
+
+}  // namespace sam

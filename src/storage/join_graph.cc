@@ -1,0 +1,92 @@
+#include "storage/join_graph.h"
+
+#include <algorithm>
+
+namespace sam {
+
+void JoinGraph::AddRelation(const std::string& name) {
+  if (!HasRelation(name)) relations_.push_back(name);
+}
+
+Status JoinGraph::AddEdge(Edge edge) {
+  AddRelation(edge.parent);
+  AddRelation(edge.child);
+  if (!Parent(edge.child).empty()) {
+    return Status::InvalidArgument("relation '" + edge.child +
+                                   "' already has a parent; join graph must be a "
+                                   "forest");
+  }
+  // Reject cycles: the child must not be an ancestor of the parent.
+  for (const auto& anc : Ancestors(edge.parent)) {
+    if (anc == edge.child) {
+      return Status::InvalidArgument("edge " + edge.parent + " -> " + edge.child +
+                                     " would create a cycle");
+    }
+  }
+  edges_.push_back(std::move(edge));
+  return Status::OK();
+}
+
+bool JoinGraph::HasRelation(const std::string& name) const {
+  return std::find(relations_.begin(), relations_.end(), name) != relations_.end();
+}
+
+std::string JoinGraph::Parent(const std::string& relation) const {
+  const Edge* e = ParentEdge(relation);
+  return e ? e->parent : std::string();
+}
+
+const JoinGraph::Edge* JoinGraph::ParentEdge(const std::string& relation) const {
+  for (const auto& e : edges_) {
+    if (e.child == relation) return &e;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> JoinGraph::Children(const std::string& relation) const {
+  std::vector<std::string> out;
+  for (const auto& e : edges_) {
+    if (e.parent == relation) out.push_back(e.child);
+  }
+  return out;
+}
+
+std::vector<std::string> JoinGraph::Ancestors(const std::string& relation) const {
+  std::vector<std::string> out;
+  std::string cur = Parent(relation);
+  while (!cur.empty()) {
+    out.push_back(cur);
+    cur = Parent(cur);
+  }
+  return out;
+}
+
+std::vector<std::string> JoinGraph::Subtree(const std::string& relation) const {
+  std::vector<std::string> out{relation};
+  for (size_t i = 0; i < out.size(); ++i) {
+    for (const auto& c : Children(out[i])) out.push_back(c);
+  }
+  return out;
+}
+
+std::vector<std::string> JoinGraph::Roots() const {
+  std::vector<std::string> out;
+  for (const auto& r : relations_) {
+    if (Parent(r).empty()) out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<std::string> JoinGraph::TopologicalOrder() const {
+  std::vector<std::string> out;
+  for (const auto& root : Roots()) {
+    for (const auto& r : Subtree(root)) out.push_back(r);
+  }
+  return out;
+}
+
+bool JoinGraph::IsTree() const {
+  return Roots().size() == 1 && TopologicalOrder().size() == relations_.size();
+}
+
+}  // namespace sam

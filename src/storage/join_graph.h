@@ -1,0 +1,65 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace sam {
+
+/// \brief Tree-structured FK join graph (§2.2).
+///
+/// Vertices are relation names; a directed edge T1 -> T2 exists when T1's
+/// primary key joins T2's foreign key. The paper (and this implementation)
+/// requires the graph to be a forest: every relation has at most one parent.
+class JoinGraph {
+ public:
+  struct Edge {
+    std::string parent;        ///< PK-side relation.
+    std::string child;         ///< FK-side relation.
+    std::string parent_column; ///< PK column of `parent`.
+    std::string child_column;  ///< FK column of `child`.
+  };
+
+  /// Registers a relation vertex (idempotent).
+  void AddRelation(const std::string& name);
+
+  /// Adds the edge parent.pk -> child.fk. Fails if the child already has a
+  /// parent or the edge would make the graph cyclic.
+  Status AddEdge(Edge edge);
+
+  const std::vector<std::string>& relations() const { return relations_; }
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  bool HasRelation(const std::string& name) const;
+
+  /// Parent name of `relation`, or empty when it is a root.
+  std::string Parent(const std::string& relation) const;
+
+  /// The edge connecting `relation` to its parent, or nullptr for roots.
+  const Edge* ParentEdge(const std::string& relation) const;
+
+  /// Child relations of `relation`.
+  std::vector<std::string> Children(const std::string& relation) const;
+
+  /// Strict ancestors of `relation`, nearest first.
+  std::vector<std::string> Ancestors(const std::string& relation) const;
+
+  /// All relations in the subtree rooted at `relation` (inclusive).
+  std::vector<std::string> Subtree(const std::string& relation) const;
+
+  /// Root relations (no parent).
+  std::vector<std::string> Roots() const;
+
+  /// Parents-before-children order over all relations.
+  std::vector<std::string> TopologicalOrder() const;
+
+  /// True for a single-root tree covering every relation.
+  bool IsTree() const;
+
+ private:
+  std::vector<std::string> relations_;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace sam

@@ -1,0 +1,115 @@
+#include "storage/schema_io.h"
+
+#include <fstream>
+
+#include "common/string_util.h"
+#include "storage/csv.h"
+
+namespace sam {
+
+namespace {
+
+Result<ColumnType> ParseType(const std::string& s) {
+  if (s == "INT") return ColumnType::kInt;
+  if (s == "DOUBLE") return ColumnType::kDouble;
+  if (s == "STRING") return ColumnType::kString;
+  return Status::InvalidArgument("unknown column type '" + s + "'");
+}
+
+}  // namespace
+
+Status SaveSchema(const Database& db, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
+  for (const auto& t : db.tables()) {
+    out << "table " << t.name() << '\n';
+    for (const auto& c : t.columns()) {
+      out << "column " << c.name() << ' ' << ColumnTypeToString(c.type()) << '\n';
+    }
+    if (t.primary_key()) out << "pk " << *t.primary_key() << '\n';
+    for (const auto& fk : t.foreign_keys()) {
+      out << "fk " << fk.column << ' ' << fk.parent_table << ' '
+          << fk.parent_column << '\n';
+    }
+  }
+  if (!out) return Status::IOError("write failed for '" + path + "'");
+  return Status::OK();
+}
+
+Result<Database> LoadSchema(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open '" + path + "'");
+  Database db;
+  Table current;
+  bool have_table = false;
+  auto flush = [&]() -> Status {
+    if (have_table) SAM_RETURN_NOT_OK(db.AddTable(std::move(current)));
+    return Status::OK();
+  };
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string trimmed(Trim(line));
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    const auto parts = Split(trimmed, ' ');
+    auto fail = [&](const std::string& why) {
+      return Status::InvalidArgument("schema '" + path + "' line " +
+                                     std::to_string(line_no) + ": " + why);
+    };
+    if (parts[0] == "table") {
+      if (parts.size() != 2) return fail("expected 'table <name>'");
+      SAM_RETURN_NOT_OK(flush());
+      current = Table(parts[1]);
+      have_table = true;
+    } else if (!have_table) {
+      return fail("directive before any 'table'");
+    } else if (parts[0] == "column") {
+      if (parts.size() != 3) return fail("expected 'column <name> <type>'");
+      SAM_ASSIGN_OR_RETURN(ColumnType type, ParseType(parts[2]));
+      SAM_RETURN_NOT_OK(current.AddColumn(Column(parts[1], type)));
+    } else if (parts[0] == "pk") {
+      if (parts.size() != 2) return fail("expected 'pk <column>'");
+      SAM_RETURN_NOT_OK(current.SetPrimaryKey(parts[1]));
+    } else if (parts[0] == "fk") {
+      if (parts.size() != 4) {
+        return fail("expected 'fk <column> <parent_table> <parent_column>'");
+      }
+      SAM_RETURN_NOT_OK(
+          current.AddForeignKey(ForeignKey{parts[1], parts[2], parts[3]}));
+    } else {
+      return fail("unknown directive '" + parts[0] + "'");
+    }
+  }
+  SAM_RETURN_NOT_OK(flush());
+  return db;
+}
+
+Status SaveDatabase(const Database& db, const std::string& dir) {
+  SAM_RETURN_NOT_OK(SaveSchema(db, dir + "/schema.txt"));
+  for (const auto& t : db.tables()) {
+    SAM_RETURN_NOT_OK(WriteCsv(t, dir + "/" + t.name() + ".csv"));
+  }
+  return Status::OK();
+}
+
+Result<Database> LoadDatabase(const std::string& dir) {
+  SAM_ASSIGN_OR_RETURN(Database schema_db, LoadSchema(dir + "/schema.txt"));
+  Database db;
+  for (const auto& t : schema_db.tables()) {
+    std::vector<ColumnType> types;
+    for (const auto& c : t.columns()) types.push_back(c.type());
+    SAM_ASSIGN_OR_RETURN(Table loaded,
+                         ReadCsv(t.name(), dir + "/" + t.name() + ".csv", types));
+    // Re-attach key metadata.
+    if (t.primary_key()) SAM_RETURN_NOT_OK(loaded.SetPrimaryKey(*t.primary_key()));
+    for (const auto& fk : t.foreign_keys()) {
+      SAM_RETURN_NOT_OK(loaded.AddForeignKey(fk));
+    }
+    SAM_RETURN_NOT_OK(db.AddTable(std::move(loaded)));
+  }
+  SAM_RETURN_NOT_OK(db.ValidateIntegrity());
+  return db;
+}
+
+}  // namespace sam

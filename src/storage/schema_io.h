@@ -1,0 +1,32 @@
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+#include "storage/database.h"
+
+namespace sam {
+
+/// \brief Writes a database's schema (tables, column types, keys) to a
+/// line-oriented text file:
+///
+///   table <name>
+///   column <name> <INT|DOUBLE|STRING>
+///   pk <column>
+///   fk <column> <parent_table> <parent_column>
+///
+/// Blocks are separated by the next `table` line.
+Status SaveSchema(const Database& db, const std::string& path);
+
+/// \brief Parses a schema file into an empty database (tables with zero rows
+/// but full key metadata). Columns are created empty.
+Result<Database> LoadSchema(const std::string& path);
+
+/// \brief Saves schema + per-table CSVs into `dir` (created by the caller):
+/// `schema.txt` plus `<table>.csv` for every relation.
+Status SaveDatabase(const Database& db, const std::string& dir);
+
+/// \brief Loads a database saved with SaveDatabase and validates integrity.
+Result<Database> LoadDatabase(const std::string& dir);
+
+}  // namespace sam

@@ -1,0 +1,75 @@
+#include "storage/table.h"
+
+namespace sam {
+
+Status Table::AddColumn(Column column) {
+  if (!columns_.empty() && column.num_rows() != num_rows()) {
+    return Status::InvalidArgument("column '" + column.name() + "' has " +
+                                   std::to_string(column.num_rows()) +
+                                   " rows, table '" + name_ + "' has " +
+                                   std::to_string(num_rows()));
+  }
+  if (FindColumn(column.name()) != nullptr) {
+    return Status::AlreadyExists("column '" + column.name() + "' in table '" +
+                                 name_ + "'");
+  }
+  columns_.push_back(std::move(column));
+  return Status::OK();
+}
+
+Result<size_t> Table::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name() == name) return i;
+  }
+  return Status::NotFound("column '" + name + "' in table '" + name_ + "'");
+}
+
+const Column* Table::FindColumn(const std::string& name) const {
+  for (const auto& c : columns_) {
+    if (c.name() == name) return &c;
+  }
+  return nullptr;
+}
+
+Column* Table::FindColumn(const std::string& name) {
+  for (auto& c : columns_) {
+    if (c.name() == name) return &c;
+  }
+  return nullptr;
+}
+
+Status Table::SetPrimaryKey(const std::string& column) {
+  if (FindColumn(column) == nullptr) {
+    return Status::NotFound("primary key column '" + column + "' in table '" +
+                            name_ + "'");
+  }
+  pk_ = column;
+  return Status::OK();
+}
+
+Status Table::AddForeignKey(ForeignKey fk) {
+  if (FindColumn(fk.column) == nullptr) {
+    return Status::NotFound("foreign key column '" + fk.column + "' in table '" +
+                            name_ + "'");
+  }
+  fks_.push_back(std::move(fk));
+  return Status::OK();
+}
+
+std::vector<std::string> Table::ContentColumnNames() const {
+  std::vector<std::string> out;
+  for (const auto& c : columns_) {
+    if (!IsKeyColumn(c.name())) out.push_back(c.name());
+  }
+  return out;
+}
+
+bool Table::IsKeyColumn(const std::string& column) const {
+  if (pk_ && *pk_ == column) return true;
+  for (const auto& fk : fks_) {
+    if (fk.column == column) return true;
+  }
+  return false;
+}
+
+}  // namespace sam

@@ -1,0 +1,38 @@
+#include "storage/value.h"
+
+#include <cstdio>
+#include <functional>
+
+namespace sam {
+
+const char* ColumnTypeToString(ColumnType t) {
+  switch (t) {
+    case ColumnType::kInt:
+      return "INT";
+    case ColumnType::kDouble:
+      return "DOUBLE";
+    case ColumnType::kString:
+      return "STRING";
+  }
+  return "?";
+}
+
+std::string Value::ToString() const {
+  if (is_null()) return "NULL";
+  if (is_int()) return std::to_string(AsInt());
+  if (is_double()) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%g", AsDouble());
+    return buf;
+  }
+  return AsString();
+}
+
+size_t Value::Hash() const {
+  if (is_null()) return 0x9e3779b97f4a7c15ULL;
+  if (is_int()) return std::hash<int64_t>()(AsInt());
+  if (is_double()) return std::hash<double>()(AsDouble());
+  return std::hash<std::string>()(AsString());
+}
+
+}  // namespace sam

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace sam {
+
+/// \brief Logical column types supported by the catalog.
+enum class ColumnType { kInt, kDouble, kString };
+
+const char* ColumnTypeToString(ColumnType t);
+
+/// \brief A single (possibly NULL) cell value.
+///
+/// NULL is the monostate alternative; it arises in full-outer-join tuples
+/// when a primary-key tuple joins no foreign-key tuple (§4.3.1 of the paper).
+class Value {
+ public:
+  Value() = default;  // NULL
+  explicit Value(int64_t v) : repr_(v) {}
+  explicit Value(double v) : repr_(v) {}
+  explicit Value(std::string v) : repr_(std::move(v)) {}
+
+  static Value Null() { return Value(); }
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(repr_); }
+  bool is_int() const { return std::holds_alternative<int64_t>(repr_); }
+  bool is_double() const { return std::holds_alternative<double>(repr_); }
+  bool is_string() const { return std::holds_alternative<std::string>(repr_); }
+
+  int64_t AsInt() const { return std::get<int64_t>(repr_); }
+  double AsDouble() const { return std::get<double>(repr_); }
+  const std::string& AsString() const { return std::get<std::string>(repr_); }
+
+  /// Numeric view: ints widen to double. Requires a numeric value.
+  double AsNumeric() const {
+    return is_int() ? static_cast<double>(AsInt()) : AsDouble();
+  }
+
+  bool operator==(const Value& o) const { return repr_ == o.repr_; }
+
+  /// Total order with NULL first, then by value within the same alternative.
+  bool operator<(const Value& o) const { return repr_ < o.repr_; }
+
+  std::string ToString() const;
+
+  /// Hash compatible with operator==.
+  size_t Hash() const;
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string> repr_;
+};
+
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace sam

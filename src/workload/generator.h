@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/executor.h"
+#include "query/query.h"
+#include "storage/database.h"
+
+namespace sam {
+
+/// \brief Options for the paper's single-relation workload generator (§5.1).
+struct SingleRelationWorkloadOptions {
+  size_t num_queries = 20000;
+  /// Number of filters drawn uniformly from [min_filters, max_filters]
+  /// (clamped to the number of content columns).
+  size_t min_filters = 1;
+  size_t max_filters = 5;
+  uint64_t seed = 100;
+  /// When > 0, literals are only drawn from tuples whose values fall within
+  /// the lowest `coverage_ratio` fraction of each column's domain — the
+  /// workload-coverage knob of Figure 8 (1.0 = full coverage).
+  double coverage_ratio = 1.0;
+};
+
+/// \brief Generates labelled single-relation queries following the paper:
+/// draw the filter count, uniformly sample columns and operators from
+/// {<=, =, >=}, and take literals from a uniformly sampled tuple.
+Result<Workload> GenerateSingleRelationWorkload(
+    const Database& db, const std::string& table, const Executor& executor,
+    const SingleRelationWorkloadOptions& options);
+
+/// \brief Options for the MSCN-style multi-relation workload (§5.1, IMDB).
+struct MultiRelationWorkloadOptions {
+  size_t num_queries = 20000;
+  /// Joins drawn uniformly from [0, max_joins]; a join query is the root
+  /// relation plus that many distinct FK relations.
+  size_t max_joins = 2;
+  uint64_t seed = 200;
+};
+
+/// \brief Generates labelled queries over a snowflake database: 0..max_joins
+/// joins, per-relation filter counts drawn from 0..#content-columns, literals
+/// from sampled tuples of the filtered relation.
+Result<Workload> GenerateMultiRelationWorkload(
+    const Database& db, const Executor& executor,
+    const MultiRelationWorkloadOptions& options);
+
+/// \brief Options for the JOB-light-style test workload (joins of up to 5 FK
+/// relations with a handful of filters), used to probe how well the joint
+/// distribution of *all* relations was captured (§5.1).
+struct JobLightWorkloadOptions {
+  size_t num_queries = 70;
+  size_t min_joins = 1;
+  size_t max_joins = 5;
+  size_t max_filters = 4;
+  uint64_t seed = 300;
+};
+
+Result<Workload> GenerateJobLightWorkload(const Database& db,
+                                          const Executor& executor,
+                                          const JobLightWorkloadOptions& options);
+
+/// \brief Removes queries from `test` that also appear in `train`
+/// (structural equality), mirroring the paper's de-duplicated test sets.
+Workload RemoveDuplicateQueries(const Workload& train, const Workload& test);
+
+/// \brief Structural equality of two queries (same relations, predicates and
+/// literals, order-insensitive on predicates).
+bool QueriesEqual(const Query& a, const Query& b);
+
+}  // namespace sam

@@ -1,0 +1,20 @@
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+#include "query/query.h"
+
+namespace sam {
+
+/// \brief Serialises a workload to a line-oriented text file.
+///
+/// Format (one query per line, tab-separated sections):
+///   relations `r1,r2` \t predicates `t.c<op><type>:<lit>[;...]` \t card
+/// Strings are percent-escaped for the separator characters.
+Status SaveWorkload(const Workload& workload, const std::string& path);
+
+/// \brief Loads a workload saved with SaveWorkload.
+Result<Workload> LoadWorkload(const std::string& path);
+
+}  // namespace sam

@@ -1,0 +1,100 @@
+// Edge cases of the execution engine and the report formatting helpers.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/string_util.h"
+#include "datasets/datasets.h"
+#include "engine/executor.h"
+
+namespace sam {
+namespace {
+
+TEST(ExecutorEdgeTest, EmptyRelationListIsRejected) {
+  Database db = MakeFigure3Database();
+  auto exec = Executor::Create(&db).MoveValue();
+  Query q;
+  EXPECT_FALSE(exec->Cardinality(q).ok());
+}
+
+TEST(ExecutorEdgeTest, UnknownRelationIsRejected) {
+  Database db = MakeFigure3Database();
+  auto exec = Executor::Create(&db).MoveValue();
+  Query q;
+  q.relations = {"nope"};
+  EXPECT_EQ(exec->Cardinality(q).status().code(), StatusCode::kNotFound);
+}
+
+TEST(ExecutorEdgeTest, EmptyInListMatchesNothing) {
+  Database db = MakeFigure3Database();
+  auto exec = Executor::Create(&db).MoveValue();
+  Query q;
+  q.relations = {"A"};
+  Predicate p{"A", "a", PredOp::kIn, Value(), {}};
+  q.predicates = {p};
+  EXPECT_EQ(exec->Cardinality(q).ValueOrDie(), 0);
+}
+
+TEST(ExecutorEdgeTest, MaterializeFojRespectsRowCap) {
+  Database db = MakeImdbLike(200, 3);
+  auto exec = Executor::Create(&db).MoveValue();
+  auto foj = exec->MaterializeFullOuterJoin(/*max_rows=*/10);
+  EXPECT_FALSE(foj.ok());
+  EXPECT_EQ(foj.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(ExecutorEdgeTest, ContradictoryPredicatesYieldZero) {
+  Database db = MakeCensusLike(200, 3);
+  auto exec = Executor::Create(&db).MoveValue();
+  Query q;
+  q.relations = {"census"};
+  q.predicates = {Predicate{"census", "age", PredOp::kLe, Value(int64_t{20}), {}},
+                  Predicate{"census", "age", PredOp::kGe, Value(int64_t{80}), {}}};
+  EXPECT_EQ(exec->Cardinality(q).ValueOrDie(), 0);
+}
+
+TEST(ExecutorEdgeTest, DuplicatedPredicateIsIdempotent) {
+  Database db = MakeCensusLike(300, 5);
+  auto exec = Executor::Create(&db).MoveValue();
+  Query once;
+  once.relations = {"census"};
+  once.predicates = {
+      Predicate{"census", "sex", PredOp::kEq, Value(int64_t{1}), {}}};
+  Query twice = once;
+  twice.predicates.push_back(twice.predicates[0]);
+  EXPECT_EQ(exec->Cardinality(once).ValueOrDie(),
+            exec->Cardinality(twice).ValueOrDie());
+}
+
+TEST(ExecutorEdgeTest, LatencyOfJoinLargerThanPointLookup) {
+  Database db = MakeImdbLike(1500, 7);
+  auto exec = Executor::Create(&db).MoveValue();
+  Query join;
+  join.relations = {"title", "cast_info", "movie_keyword"};
+  Query point;
+  point.relations = {"title"};
+  point.predicates = {
+      Predicate{"title", "kind_id", PredOp::kEq, Value(int64_t{0}), {}}};
+  double join_ms = 0, point_ms = 0;
+  for (int i = 0; i < 10; ++i) {
+    join_ms += exec->MeasureLatencySeconds(join).ValueOrDie();
+    point_ms += exec->MeasureLatencySeconds(point).ValueOrDie();
+  }
+  EXPECT_GT(join_ms, point_ms);
+}
+
+TEST(FormatMetricTest, HandlesSpecialValues) {
+  EXPECT_EQ(FormatMetric(std::numeric_limits<double>::infinity()), "inf");
+  EXPECT_EQ(FormatMetric(std::nan("")), "nan");
+  EXPECT_EQ(FormatMetric(0.0), "0.00");
+  EXPECT_EQ(FormatMetric(-12345.6), "-12345.6");
+}
+
+TEST(PadToTest, PadsAndKeepsLongStrings) {
+  EXPECT_EQ(PadTo("ab", 5), "   ab");
+  EXPECT_EQ(PadTo("abcdef", 3), "abcdef");
+}
+
+}  // namespace
+}  // namespace sam

@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include "datasets/datasets.h"
+#include "engine/executor.h"
+
+namespace sam {
+namespace {
+
+Predicate Eq(const std::string& table, const std::string& col, Value v) {
+  return Predicate{table, col, PredOp::kEq, std::move(v), {}};
+}
+
+class Figure3ExecutorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = MakeFigure3Database();
+    auto exec = Executor::Create(&db_);
+    ASSERT_TRUE(exec.ok()) << exec.status().ToString();
+    exec_ = exec.MoveValue();
+  }
+
+  Database db_;
+  std::unique_ptr<Executor> exec_;
+};
+
+TEST_F(Figure3ExecutorTest, SingleTableCardinalities) {
+  Query q;
+  q.relations = {"A"};
+  q.predicates = {Eq("A", "a", Value(std::string("m")))};
+  EXPECT_EQ(exec_->Cardinality(q).ValueOrDie(), 2);
+
+  q.predicates = {Eq("A", "a", Value(std::string("n")))};
+  EXPECT_EQ(exec_->Cardinality(q).ValueOrDie(), 2);
+
+  q.predicates.clear();
+  EXPECT_EQ(exec_->Cardinality(q).ValueOrDie(), 4);
+}
+
+TEST_F(Figure3ExecutorTest, RangePredicates) {
+  Query q;
+  q.relations = {"A"};
+  q.predicates = {
+      Predicate{"A", "a", PredOp::kLe, Value(std::string("m")), {}}};
+  EXPECT_EQ(exec_->Cardinality(q).ValueOrDie(), 2);
+  q.predicates = {
+      Predicate{"A", "a", PredOp::kGt, Value(std::string("m")), {}}};
+  EXPECT_EQ(exec_->Cardinality(q).ValueOrDie(), 2);
+}
+
+TEST_F(Figure3ExecutorTest, InPredicate) {
+  Query q;
+  q.relations = {"C"};
+  Predicate p{"C", "c", PredOp::kIn, Value(), {}};
+  p.in_list = {Value(std::string("i")), Value(std::string("zzz"))};
+  q.predicates = {p};
+  EXPECT_EQ(exec_->Cardinality(q).ValueOrDie(), 2);
+}
+
+TEST_F(Figure3ExecutorTest, JoinCardinalities) {
+  Query q;
+  q.relations = {"A", "B"};
+  // A join B: key 1 has 1 B row, key 2 has 2 -> 3 join tuples.
+  EXPECT_EQ(exec_->Cardinality(q).ValueOrDie(), 3);
+
+  q.relations = {"A", "C"};
+  EXPECT_EQ(exec_->Cardinality(q).ValueOrDie(), 4);
+
+  q.relations = {"A", "B", "C"};
+  // key1: 1*2, key2: 2*2 -> 6.
+  EXPECT_EQ(exec_->Cardinality(q).ValueOrDie(), 6);
+}
+
+TEST_F(Figure3ExecutorTest, JoinWithPredicates) {
+  Query q;
+  q.relations = {"A", "B", "C"};
+  q.predicates = {Eq("A", "a", Value(std::string("m"))),
+                  Eq("C", "c", Value(std::string("i")))};
+  // key1 (m): B rows 1, C rows with c=i and x=1 -> 1 => 1; key2 (m): B rows 2,
+  // C rows with c=i and x=2 -> 1 => 2. Total 3.
+  EXPECT_EQ(exec_->Cardinality(q).ValueOrDie(), 3);
+}
+
+TEST_F(Figure3ExecutorTest, DisconnectedJoinRejected) {
+  Query q;
+  q.relations = {"B", "C"};  // Not connected without A.
+  EXPECT_FALSE(exec_->Cardinality(q).ok());
+}
+
+TEST_F(Figure3ExecutorTest, FullOuterJoinSizeMatchesPaperExample) {
+  // Figure 3(b): 8 FOJ tuples (2 for key 1, 4 for key 2, 1 each for keys 3/4).
+  EXPECT_EQ(exec_->FullOuterJoinSize(), 8);
+}
+
+TEST_F(Figure3ExecutorTest, MaterializedFojMatchesFigure3) {
+  auto foj_res = exec_->MaterializeFullOuterJoin();
+  ASSERT_TRUE(foj_res.ok()) << foj_res.status().ToString();
+  const Table& foj = foj_res.ValueOrDie();
+  ASSERT_EQ(foj.num_rows(), 8u);
+  // Expected columns: A.a, B.b, C.c, I(B), I(C), F(B), F(C).
+  ASSERT_NE(foj.FindColumn("A.a"), nullptr);
+  ASSERT_NE(foj.FindColumn("I(B)"), nullptr);
+  ASSERT_NE(foj.FindColumn("F(C)"), nullptr);
+
+  const Column* aa = foj.FindColumn("A.a");
+  const Column* ib = foj.FindColumn("I(B)");
+  const Column* ic = foj.FindColumn("I(C)");
+  const Column* fb = foj.FindColumn("F(B)");
+  const Column* fc = foj.FindColumn("F(C)");
+  const Column* bb = foj.FindColumn("B.b");
+
+  int rows_with_null_children = 0;
+  int rows_key2_pattern = 0;
+  for (size_t r = 0; r < foj.num_rows(); ++r) {
+    if (ib->ValueAt(r).AsInt() == 0 && ic->ValueAt(r).AsInt() == 0) {
+      ++rows_with_null_children;
+      EXPECT_TRUE(bb->ValueAt(r).is_null());
+      EXPECT_EQ(fb->ValueAt(r).AsInt(), 1);  // NULL handling per §4.3.1.
+      EXPECT_EQ(fc->ValueAt(r).AsInt(), 1);
+      EXPECT_EQ(aa->ValueAt(r).AsString(), "n");
+    }
+    if (fb->ValueAt(r).AsInt() == 2 && fc->ValueAt(r).AsInt() == 2) {
+      ++rows_key2_pattern;
+      EXPECT_EQ(aa->ValueAt(r).AsString(), "m");
+    }
+  }
+  EXPECT_EQ(rows_with_null_children, 2);  // keys 3 and 4
+  EXPECT_EQ(rows_key2_pattern, 4);        // key 2 fans out 2x2
+}
+
+TEST_F(Figure3ExecutorTest, LatencyMeasurementIsPositive) {
+  Query q;
+  q.relations = {"A", "B", "C"};
+  auto lat = exec_->MeasureLatencySeconds(q);
+  ASSERT_TRUE(lat.ok());
+  EXPECT_GT(lat.ValueOrDie(), 0.0);
+}
+
+TEST(ExecutorImdbTest, JoinCardinalityMatchesBruteForceOnChildCounts) {
+  Database db = MakeImdbLike(300, 17);
+  auto exec = Executor::Create(&db).MoveValue();
+
+  // Single-table count equals table size with no predicates.
+  Query q;
+  q.relations = {"cast_info"};
+  EXPECT_EQ(static_cast<size_t>(exec->Cardinality(q).ValueOrDie()),
+            db.FindTable("cast_info")->num_rows());
+
+  // title JOIN cast_info equals |cast_info| under FK integrity.
+  q.relations = {"title", "cast_info"};
+  EXPECT_EQ(static_cast<size_t>(exec->Cardinality(q).ValueOrDie()),
+            db.FindTable("cast_info")->num_rows());
+}
+
+TEST(ExecutorImdbTest, FojSizeAtLeastTitleCount) {
+  Database db = MakeImdbLike(200, 23);
+  auto exec = Executor::Create(&db).MoveValue();
+  // Every title contributes at least one FOJ row.
+  EXPECT_GE(exec->FullOuterJoinSize(),
+            static_cast<int64_t>(db.FindTable("title")->num_rows()));
+}
+
+TEST(ExecutorImdbTest, TwoChildJoinMatchesManualAggregation) {
+  Database db = MakeImdbLike(150, 29);
+  auto exec = Executor::Create(&db).MoveValue();
+  Query q;
+  q.relations = {"title", "cast_info", "movie_keyword"};
+
+  // Manual: sum over titles of count_ci(t) * count_mk(t).
+  const Table* title = db.FindTable("title");
+  const Column* tid = title->FindColumn("id");
+  auto count_by_key = [&](const char* table) {
+    std::unordered_map<int64_t, int64_t> counts;
+    const Column* fk = db.FindTable(table)->FindColumn("movie_id");
+    for (size_t r = 0; r < fk->num_rows(); ++r) ++counts[fk->ValueAt(r).AsInt()];
+    return counts;
+  };
+  auto ci = count_by_key("cast_info");
+  auto mk = count_by_key("movie_keyword");
+  int64_t expected = 0;
+  for (size_t r = 0; r < title->num_rows(); ++r) {
+    const int64_t k = tid->ValueAt(r).AsInt();
+    const auto i1 = ci.find(k);
+    const auto i2 = mk.find(k);
+    if (i1 != ci.end() && i2 != mk.end()) expected += i1->second * i2->second;
+  }
+  EXPECT_EQ(exec->Cardinality(q).ValueOrDie(), expected);
+}
+
+TEST(ExecutorCensusTest, PredicateCompilationAgainstMissingColumnFails) {
+  Database db = MakeCensusLike(100, 3);
+  auto exec = Executor::Create(&db).MoveValue();
+  Query q;
+  q.relations = {"census"};
+  q.predicates = {Eq("census", "no_such_column", Value(int64_t{1}))};
+  EXPECT_FALSE(exec->Cardinality(q).ok());
+}
+
+TEST(ExecutorCensusTest, EqOnAbsentLiteralYieldsZero) {
+  Database db = MakeCensusLike(100, 3);
+  auto exec = Executor::Create(&db).MoveValue();
+  Query q;
+  q.relations = {"census"};
+  q.predicates = {Eq("census", "age", Value(int64_t{123456}))};
+  EXPECT_EQ(exec->Cardinality(q).ValueOrDie(), 0);
+}
+
+}  // namespace
+}  // namespace sam

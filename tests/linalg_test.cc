@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/matrix.h"
+
+namespace sam {
+namespace {
+
+Matrix Make(size_t r, size_t c, std::initializer_list<double> vals) {
+  Matrix m(r, c);
+  size_t i = 0;
+  for (double v : vals) m.data()[i++] = v;
+  return m;
+}
+
+TEST(MatrixTest, MultiplyMatchesHandComputation) {
+  Matrix a = Make(2, 3, {1, 2, 3, 4, 5, 6});
+  Matrix b = Make(3, 2, {7, 8, 9, 10, 11, 12});
+  Matrix c = Matrix::Multiply(a, b);
+  ASSERT_EQ(c.rows(), 2u);
+  ASSERT_EQ(c.cols(), 2u);
+  EXPECT_DOUBLE_EQ(c(0, 0), 58);
+  EXPECT_DOUBLE_EQ(c(0, 1), 64);
+  EXPECT_DOUBLE_EQ(c(1, 0), 139);
+  EXPECT_DOUBLE_EQ(c(1, 1), 154);
+}
+
+TEST(MatrixTest, TransposeMultiplyAgreesWithExplicitTranspose) {
+  Matrix a = Make(3, 2, {1, 2, 3, 4, 5, 6});
+  Matrix b = Make(3, 2, {1, 0, 0, 1, 1, 1});
+  Matrix expected = Matrix::Multiply(a.Transposed(), b);
+  Matrix got = Matrix::TransposeMultiply(a, b);
+  EXPECT_EQ(got, expected);
+}
+
+TEST(MatrixTest, MultiplyTransposeAgreesWithExplicitTranspose) {
+  Matrix a = Make(2, 3, {1, 2, 3, 4, 5, 6});
+  Matrix b = Make(4, 3, {1, 0, 0, 0, 1, 0, 0, 0, 1, 1, 1, 1});
+  Matrix expected = Matrix::Multiply(a, b.Transposed());
+  Matrix got = Matrix::MultiplyTranspose(a, b);
+  EXPECT_EQ(got, expected);
+}
+
+TEST(MatrixTest, ApplyComputesMatVec) {
+  Matrix a = Make(2, 3, {1, 2, 3, 4, 5, 6});
+  std::vector<double> x = {1, 0, -1};
+  auto y = a.Apply(x);
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_DOUBLE_EQ(y[0], -2);
+  EXPECT_DOUBLE_EQ(y[1], -2);
+}
+
+TEST(MatrixTest, IdentityIsNeutral) {
+  Matrix a = Make(2, 2, {1, 2, 3, 4});
+  Matrix c = Matrix::Multiply(a, Matrix::Identity(2));
+  EXPECT_EQ(c, a);
+}
+
+TEST(CholeskyTest, FactorsAndSolvesSpdSystem) {
+  // A = [[4,2],[2,3]] is SPD.
+  Matrix a = Make(2, 2, {4, 2, 2, 3});
+  Matrix l;
+  ASSERT_TRUE(CholeskyFactor(a, &l));
+  // L should satisfy L L^T = A.
+  Matrix rec = Matrix::MultiplyTranspose(l, l);
+  EXPECT_NEAR(rec(0, 0), 4, 1e-12);
+  EXPECT_NEAR(rec(1, 0), 2, 1e-12);
+  EXPECT_NEAR(rec(1, 1), 3, 1e-12);
+
+  auto x = CholeskySolve(l, {10, 9});
+  // Check A x = b.
+  auto b = a.Apply(x);
+  EXPECT_NEAR(b[0], 10, 1e-10);
+  EXPECT_NEAR(b[1], 9, 1e-10);
+}
+
+TEST(CholeskyTest, RejectsIndefiniteMatrix) {
+  Matrix a = Make(2, 2, {1, 2, 2, 1});  // eigenvalues 3, -1
+  Matrix l;
+  EXPECT_FALSE(CholeskyFactor(a, &l));
+}
+
+TEST(LeastSquaresTest, RecoversExactSolution) {
+  // Overdetermined consistent system.
+  Matrix a = Make(3, 2, {1, 0, 0, 1, 1, 1});
+  std::vector<double> b = {2, 3, 5};
+  auto x = LeastSquares(a, b);
+  EXPECT_NEAR(x[0], 2, 1e-5);
+  EXPECT_NEAR(x[1], 3, 1e-5);
+}
+
+TEST(LeastSquaresTest, HandlesRankDeficiency) {
+  // Two identical columns: infinitely many solutions; ridge picks one and the
+  // residual must still be (near) minimal.
+  Matrix a = Make(2, 2, {1, 1, 2, 2});
+  std::vector<double> b = {3, 6};
+  auto x = LeastSquares(a, b, 1e-6);
+  auto r = a.Apply(x);
+  EXPECT_NEAR(r[0], 3, 1e-3);
+  EXPECT_NEAR(r[1], 6, 1e-3);
+}
+
+TEST(NnlsTest, MatchesUnconstrainedWhenSolutionIsPositive) {
+  Matrix a = Make(3, 2, {1, 0, 0, 1, 1, 1});
+  std::vector<double> b = {2, 3, 5};
+  auto x = NonNegativeLeastSquares(a, b);
+  EXPECT_NEAR(x[0], 2, 1e-3);
+  EXPECT_NEAR(x[1], 3, 1e-3);
+}
+
+TEST(NnlsTest, ClampsNegativeComponents) {
+  // Unconstrained solution is x = (-1, 2); NNLS must return x >= 0.
+  Matrix a = Make(2, 2, {1, 0, 0, 1});
+  std::vector<double> b = {-1, 2};
+  auto x = NonNegativeLeastSquares(a, b);
+  EXPECT_GE(x[0], 0.0);
+  EXPECT_NEAR(x[0], 0.0, 1e-6);
+  EXPECT_NEAR(x[1], 2.0, 1e-6);
+}
+
+TEST(NnlsTest, FitsProbabilityLikeSystem) {
+  // Constraints of the kind PGM solves: x0+x1+x2+x3 = 1 (total mass),
+  // x0+x1 = 0.7 (a selectivity), x0+x2 = 0.4 (another selectivity).
+  Matrix a = Make(3, 4, {1, 1, 1, 1, 1, 1, 0, 0, 1, 0, 1, 0});
+  std::vector<double> b = {1.0, 0.7, 0.4};
+  auto x = NonNegativeLeastSquares(a, b, 2000);
+  auto r = a.Apply(x);
+  EXPECT_NEAR(r[0], 1.0, 1e-3);
+  EXPECT_NEAR(r[1], 0.7, 1e-3);
+  EXPECT_NEAR(r[2], 0.4, 1e-3);
+  for (double v : x) EXPECT_GE(v, -1e-12);
+}
+
+}  // namespace
+}  // namespace sam

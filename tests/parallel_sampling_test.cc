@@ -1,0 +1,93 @@
+// Parallel FOJ sampling (§4.2 "embarrassingly parallel"): correctness and
+// determinism of the sharded sampler.
+
+#include <gtest/gtest.h>
+
+#include "datasets/datasets.h"
+#include "engine/executor.h"
+#include "sam/sam_model.h"
+#include "workload/generator.h"
+
+namespace sam {
+namespace {
+
+std::unique_ptr<SamModel> MakeModel(const Database& db, const Executor& exec,
+                                    const SamOptions& options) {
+  MultiRelationWorkloadOptions wopts;
+  wopts.num_queries = 50;
+  auto train = GenerateMultiRelationWorkload(db, exec, wopts).MoveValue();
+  SchemaHints hints;
+  auto sam =
+      SamModel::Create(db, train, hints, exec.FullOuterJoinSize(), options)
+          .MoveValue();
+  sam->model()->SyncSamplerWeights();
+  return sam;
+}
+
+TEST(ParallelSamplingTest, ShardedSamplerIsDeterministicPerThreadCount) {
+  Database db = MakeImdbLike(200, 3);
+  auto exec = Executor::Create(&db).MoveValue();
+  SamOptions options;
+  options.sampler_threads = 4;
+  options.generation_batch = 128;
+  auto sam = MakeModel(db, *exec, options);
+
+  Rng rng1(42), rng2(42);
+  const auto a = sam->SampleFoj(1000, &rng1);
+  const auto b = sam->SampleFoj(1000, &rng2);
+  ASSERT_EQ(a.count, b.count);
+  for (size_t c = 0; c < a.codes.size(); ++c) {
+    EXPECT_EQ(a.codes[c], b.codes[c]) << "column " << c;
+  }
+}
+
+TEST(ParallelSamplingTest, ParallelMatchesDistributionOfSequential) {
+  Database db = MakeImdbLike(200, 5);
+  auto exec = Executor::Create(&db).MoveValue();
+  SamOptions seq_opts;
+  seq_opts.sampler_threads = 1;
+  seq_opts.generation_batch = 256;
+  auto seq_model = MakeModel(db, *exec, seq_opts);
+  SamOptions par_opts = seq_opts;
+  par_opts.sampler_threads = 3;
+  auto par_model = MakeModel(db, *exec, par_opts);
+
+  Rng r1(7), r2(7);
+  const auto seq = seq_model->SampleFoj(4000, &r1);
+  const auto par = par_model->SampleFoj(4000, &r2);
+
+  // Not bitwise equal (different RNG streams), but the first-column marginal
+  // must agree closely.
+  const size_t d = seq_model->schema().columns()[0].domain_size;
+  std::vector<double> f_seq(d, 0), f_par(d, 0);
+  for (size_t s = 0; s < seq.count; ++s) {
+    f_seq[static_cast<size_t>(seq.codes[0][s])] += 1.0 / 4000;
+    f_par[static_cast<size_t>(par.codes[0][s])] += 1.0 / 4000;
+  }
+  double l1 = 0;
+  for (size_t j = 0; j < d; ++j) l1 += std::fabs(f_seq[j] - f_par[j]);
+  EXPECT_LT(l1, 0.15) << "marginals diverge between sequential and parallel";
+}
+
+TEST(ParallelSamplingTest, GenerationWorksWithParallelSampler) {
+  Database db = MakeImdbLike(250, 7);
+  auto exec = Executor::Create(&db).MoveValue();
+  MultiRelationWorkloadOptions wopts;
+  wopts.num_queries = 120;
+  auto train = GenerateMultiRelationWorkload(db, *exec, wopts).MoveValue();
+  SamOptions options;
+  options.sampler_threads = 4;
+  options.foj_samples = 3000;
+  options.training.epochs = 2;
+  auto sam =
+      SamModel::Train(db, train, SchemaHints{}, exec->FullOuterJoinSize(), options)
+          .MoveValue();
+  auto gen = sam->Generate();
+  ASSERT_TRUE(gen.ok()) << gen.status().ToString();
+  EXPECT_TRUE(gen.ValueOrDie().ValidateIntegrity().ok());
+  EXPECT_EQ(gen.ValueOrDie().FindTable("title")->num_rows(),
+            db.FindTable("title")->num_rows());
+}
+
+}  // namespace
+}  // namespace sam

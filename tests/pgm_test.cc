@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "datasets/datasets.h"
+#include "engine/executor.h"
+#include "metrics/metrics.h"
+#include "pgm/pgm_model.h"
+#include "workload/generator.h"
+
+namespace sam {
+namespace {
+
+SchemaHints CensusHints() {
+  SchemaHints hints;
+  hints.numeric_columns = {"census.age", "census.education_num",
+                           "census.capital_gain", "census.capital_loss",
+                           "census.hours_per_week"};
+  hints.numeric_bounds["census.age"] = {17, 90};
+  hints.numeric_bounds["census.education_num"] = {1, 16};
+  hints.numeric_bounds["census.capital_gain"] = {0, 61000};
+  hints.numeric_bounds["census.capital_loss"] = {0, 10000};
+  hints.numeric_bounds["census.hours_per_week"] = {1, 99};
+  return hints;
+}
+
+TEST(PgmTest, FitsTinyWorkloadWithHighFidelity) {
+  Database db = MakeCensusLike(2000, 91);
+  auto exec = Executor::Create(&db).MoveValue();
+  SingleRelationWorkloadOptions wopts;
+  wopts.num_queries = 12;  // The scale PGM can handle (Table 2).
+  wopts.max_filters = 3;
+  wopts.seed = 17;
+  Workload train =
+      GenerateSingleRelationWorkload(db, "census", *exec, wopts).MoveValue();
+
+  std::map<std::string, int64_t> view_sizes;
+  view_sizes["census"] = static_cast<int64_t>(db.FindTable("census")->num_rows());
+
+  PgmOptions opts;
+  auto model = PgmModel::Fit(db, train, CensusHints(), view_sizes, opts);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+
+  auto gen = model.ValueOrDie()->Generate();
+  ASSERT_TRUE(gen.ok()) << gen.status().ToString();
+  const Database& gdb = gen.ValueOrDie();
+  ASSERT_EQ(gdb.FindTable("census")->num_rows(), 2000u);
+
+  auto gexec = Executor::Create(&gdb).MoveValue();
+  const MetricSummary qe = QErrorOnDatabase(*gexec, train).MoveValue();
+  // On a tiny workload PGM derives a near-exact solution (paper's F2).
+  EXPECT_LT(qe.median, 3.0);
+}
+
+TEST(PgmTest, CellCountGrowsWithWorkloadSize) {
+  Database db = MakeCensusLike(2000, 92);
+  auto exec = Executor::Create(&db).MoveValue();
+  std::map<std::string, int64_t> view_sizes;
+  view_sizes["census"] = 2000;
+
+  auto cells_for = [&](size_t n) {
+    SingleRelationWorkloadOptions wopts;
+    wopts.num_queries = n;
+    wopts.max_filters = 2;
+    wopts.seed = 19;
+    Workload train =
+        GenerateSingleRelationWorkload(db, "census", *exec, wopts).MoveValue();
+    PgmOptions opts;
+    opts.solver_iterations = 10;  // Only the structure matters here.
+    auto model = PgmModel::Fit(db, train, CensusHints(), view_sizes, opts);
+    SAM_CHECK(model.ok()) << model.status().ToString();
+    return model.ValueOrDie()->total_cells();
+  };
+  // Limitation 2: more constraints -> more distinct literals -> more cells.
+  EXPECT_GT(cells_for(24), cells_for(6));
+}
+
+TEST(PgmTest, RefusesOversizedCliques) {
+  Database db = MakeCensusLike(2000, 93);
+  auto exec = Executor::Create(&db).MoveValue();
+  SingleRelationWorkloadOptions wopts;
+  wopts.num_queries = 60;
+  wopts.min_filters = 4;
+  wopts.max_filters = 5;  // Many co-filtered attributes -> huge cliques.
+  wopts.seed = 23;
+  Workload train =
+      GenerateSingleRelationWorkload(db, "census", *exec, wopts).MoveValue();
+  std::map<std::string, int64_t> view_sizes;
+  view_sizes["census"] = 2000;
+  PgmOptions opts;
+  opts.max_cells_per_clique = 1000;  // Tight cap to provoke the blow-up.
+  auto model = PgmModel::Fit(db, train, CensusHints(), view_sizes, opts);
+  EXPECT_FALSE(model.ok());
+  EXPECT_EQ(model.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(PgmTest, TimeBudgetIsEnforced) {
+  Database db = MakeCensusLike(1000, 94);
+  auto exec = Executor::Create(&db).MoveValue();
+  SingleRelationWorkloadOptions wopts;
+  wopts.num_queries = 10;
+  Workload train =
+      GenerateSingleRelationWorkload(db, "census", *exec, wopts).MoveValue();
+  std::map<std::string, int64_t> view_sizes;
+  view_sizes["census"] = 1000;
+  PgmOptions opts;
+  opts.time_budget_seconds = 1e-9;  // Immediately exhausted.
+  auto model = PgmModel::Fit(db, train, CensusHints(), view_sizes, opts);
+  EXPECT_FALSE(model.ok());
+}
+
+TEST(PgmTest, MultiRelationGeneratesValidDatabase) {
+  Database db = MakeFigure3Database();
+  auto exec = Executor::Create(&db).MoveValue();
+
+  Workload train;
+  auto add = [&](std::vector<std::string> rels, std::vector<Predicate> preds) {
+    Query q;
+    q.relations = std::move(rels);
+    q.predicates = std::move(preds);
+    q.cardinality = exec->Cardinality(q).ValueOrDie();
+    train.push_back(std::move(q));
+  };
+  auto eq = [](const char* t, const char* c, const char* v) {
+    return Predicate{t, c, PredOp::kEq, Value(std::string(v)), {}};
+  };
+  add({"A"}, {eq("A", "a", "m")});
+  add({"A"}, {eq("A", "a", "n")});
+  add({"A", "B"}, {eq("B", "b", "a")});
+  add({"A", "B"}, {eq("B", "b", "b"), eq("A", "a", "m")});
+  add({"A", "C"}, {eq("C", "c", "i")});
+  add({"A", "C"}, {eq("C", "c", "j"), eq("A", "a", "m")});
+
+  std::map<std::string, int64_t> view_sizes;
+  view_sizes["A"] = 4;
+  {
+    Query q;
+    q.relations = {"A", "B"};
+    view_sizes["A,B"] = exec->Cardinality(q).ValueOrDie();
+    q.relations = {"A", "C"};
+    view_sizes["A,C"] = exec->Cardinality(q).ValueOrDie();
+  }
+
+  PgmOptions opts;
+  auto model = PgmModel::Fit(db, train, SchemaHints{}, view_sizes, opts);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  EXPECT_EQ(model.ValueOrDie()->num_views(), 3u);
+
+  auto gen = model.ValueOrDie()->Generate();
+  ASSERT_TRUE(gen.ok()) << gen.status().ToString();
+  const Database& gdb = gen.ValueOrDie();
+  EXPECT_EQ(gdb.FindTable("A")->num_rows(), 4u);
+  EXPECT_EQ(gdb.FindTable("B")->num_rows(), 3u);
+  EXPECT_EQ(gdb.FindTable("C")->num_rows(), 4u);
+  EXPECT_TRUE(gdb.ValidateIntegrity().ok());
+  // The generated database is executable for all training views.
+  auto gexec = Executor::Create(&gdb).MoveValue();
+  for (const auto& q : train) {
+    EXPECT_TRUE(gexec->Cardinality(q).ok());
+  }
+}
+
+TEST(PgmTest, MissingViewSizeIsAnError) {
+  Database db = MakeCensusLike(500, 95);
+  auto exec = Executor::Create(&db).MoveValue();
+  SingleRelationWorkloadOptions wopts;
+  wopts.num_queries = 5;
+  Workload train =
+      GenerateSingleRelationWorkload(db, "census", *exec, wopts).MoveValue();
+  auto model = PgmModel::Fit(db, train, CensusHints(), {}, PgmOptions{});
+  EXPECT_FALSE(model.ok());
+  EXPECT_EQ(model.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace sam

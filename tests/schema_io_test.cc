@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "datasets/datasets.h"
+#include "engine/executor.h"
+#include "storage/schema_io.h"
+
+namespace sam {
+namespace {
+
+std::string TempDir(const char* name) {
+  const auto dir = std::filesystem::temp_directory_path() / name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+TEST(SchemaIoTest, SchemaRoundTripsKeysAndTypes) {
+  Database db = MakeImdbLike(100, 3);
+  const std::string path = TempDir("sam_schema_test") + "/schema.txt";
+  ASSERT_TRUE(SaveSchema(db, path).ok());
+  auto back = LoadSchema(path);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  const Database& rdb = back.ValueOrDie();
+  ASSERT_EQ(rdb.num_tables(), db.num_tables());
+  const Table* title = rdb.FindTable("title");
+  ASSERT_NE(title, nullptr);
+  EXPECT_EQ(title->primary_key().value(), "id");
+  const Table* ci = rdb.FindTable("cast_info");
+  ASSERT_NE(ci, nullptr);
+  ASSERT_EQ(ci->foreign_keys().size(), 1u);
+  EXPECT_EQ(ci->foreign_keys()[0].parent_table, "title");
+  // Join graph reconstructable from the schema alone.
+  auto graph = rdb.BuildJoinGraph();
+  ASSERT_TRUE(graph.ok());
+  EXPECT_TRUE(graph.ValueOrDie().IsTree());
+}
+
+TEST(SchemaIoTest, DatabaseRoundTripsDataExactly) {
+  Database db = MakeFigure3Database();
+  const std::string dir = TempDir("sam_db_roundtrip");
+  ASSERT_TRUE(SaveDatabase(db, dir).ok());
+  auto back = LoadDatabase(dir);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  const Database& rdb = back.ValueOrDie();
+
+  // Same cardinalities for structural queries on both copies.
+  auto e1 = Executor::Create(&db).MoveValue();
+  auto e2 = Executor::Create(&rdb).MoveValue();
+  Query q;
+  q.relations = {"A", "B", "C"};
+  EXPECT_EQ(e1->Cardinality(q).ValueOrDie(), e2->Cardinality(q).ValueOrDie());
+  EXPECT_EQ(e1->FullOuterJoinSize(), e2->FullOuterJoinSize());
+  // Cell-level equality.
+  for (const auto& t : db.tables()) {
+    const Table* rt = rdb.FindTable(t.name());
+    ASSERT_NE(rt, nullptr);
+    ASSERT_EQ(rt->num_rows(), t.num_rows());
+    for (size_t c = 0; c < t.num_columns(); ++c) {
+      for (size_t r = 0; r < t.num_rows(); ++r) {
+        EXPECT_EQ(rt->column(c).ValueAt(r), t.column(c).ValueAt(r));
+      }
+    }
+  }
+}
+
+TEST(SchemaIoTest, LoadSchemaRejectsMalformedFiles) {
+  const std::string dir = TempDir("sam_schema_bad");
+  {
+    std::ofstream out(dir + "/bad1.txt");
+    out << "column before_any_table INT\n";
+  }
+  EXPECT_FALSE(LoadSchema(dir + "/bad1.txt").ok());
+  {
+    std::ofstream out(dir + "/bad2.txt");
+    out << "table t\ncolumn a FLOAT32\n";
+  }
+  EXPECT_FALSE(LoadSchema(dir + "/bad2.txt").ok());
+  {
+    std::ofstream out(dir + "/bad3.txt");
+    out << "table t\nfrobnicate\n";
+  }
+  EXPECT_FALSE(LoadSchema(dir + "/bad3.txt").ok());
+  EXPECT_FALSE(LoadSchema(dir + "/missing.txt").ok());
+}
+
+TEST(SchemaIoTest, LoadDatabaseValidatesIntegrity) {
+  Database db = MakeFigure3Database();
+  const std::string dir = TempDir("sam_db_corrupt");
+  ASSERT_TRUE(SaveDatabase(db, dir).ok());
+  // Corrupt a foreign key value in B.csv (x=9 has no parent).
+  {
+    std::ofstream out(dir + "/B.csv");
+    out << "x,b\n9,a\n2,b\n2,c\n";
+  }
+  auto back = LoadDatabase(dir);
+  EXPECT_FALSE(back.ok());
+}
+
+TEST(SchemaIoTest, CommentsAndBlankLinesIgnored) {
+  const std::string dir = TempDir("sam_schema_comments");
+  {
+    std::ofstream out(dir + "/schema.txt");
+    out << "# a comment\n\ntable t\ncolumn a INT\n\n# trailing\n";
+  }
+  auto back = LoadSchema(dir + "/schema.txt");
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back.ValueOrDie().num_tables(), 1u);
+}
+
+}  // namespace
+}  // namespace sam

@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <set>
+
+#include "datasets/datasets.h"
+#include "engine/executor.h"
+#include "metrics/metrics.h"
+#include "workload/generator.h"
+#include "workload/io.h"
+
+namespace sam {
+namespace {
+
+TEST(QErrorTest, SymmetricAndClamped) {
+  EXPECT_DOUBLE_EQ(QError(10, 10), 1.0);
+  EXPECT_DOUBLE_EQ(QError(20, 10), 2.0);
+  EXPECT_DOUBLE_EQ(QError(10, 20), 2.0);
+  EXPECT_DOUBLE_EQ(QError(0, 5), 5.0);   // Estimate clamped to 1.
+  EXPECT_DOUBLE_EQ(QError(5, 0), 5.0);   // Truth clamped to 1.
+  EXPECT_DOUBLE_EQ(QError(0, 0), 1.0);
+}
+
+TEST(SummarizeTest, PercentilesOfKnownSample) {
+  std::vector<double> v;
+  for (int i = 1; i <= 100; ++i) v.push_back(i);
+  const MetricSummary s = Summarize(v);
+  EXPECT_NEAR(s.median, 50.5, 1e-9);
+  EXPECT_NEAR(s.p90, 90.1, 0.2);
+  EXPECT_DOUBLE_EQ(s.max, 100);
+  EXPECT_DOUBLE_EQ(s.mean, 50.5);
+  EXPECT_EQ(s.count, 100u);
+}
+
+TEST(SummarizeTest, EmptyInput) {
+  const MetricSummary s = Summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.median, 0);
+}
+
+TEST(SingleRelationWorkloadTest, GeneratesLabelledQueries) {
+  Database db = MakeCensusLike(500, 31);
+  auto exec = Executor::Create(&db).MoveValue();
+  SingleRelationWorkloadOptions opts;
+  opts.num_queries = 100;
+  opts.seed = 5;
+  Workload w = GenerateSingleRelationWorkload(db, "census", *exec, opts)
+                   .MoveValue();
+  ASSERT_EQ(w.size(), 100u);
+  for (const auto& q : w) {
+    EXPECT_EQ(q.relations.size(), 1u);
+    EXPECT_GE(q.predicates.size(), 1u);
+    EXPECT_LE(q.predicates.size(), 5u);
+    // Literals come from real tuples, so cardinality is at least 1.
+    EXPECT_GE(q.cardinality, 1);
+    // Labels must match re-execution.
+    EXPECT_EQ(exec->Cardinality(q).ValueOrDie(), q.cardinality);
+  }
+}
+
+TEST(SingleRelationWorkloadTest, CoverageRatioNarrowsLiterals) {
+  Database db = MakeCensusLike(500, 31);
+  auto exec = Executor::Create(&db).MoveValue();
+  SingleRelationWorkloadOptions opts;
+  opts.num_queries = 150;
+  opts.coverage_ratio = 0.4;
+  Workload narrow = GenerateSingleRelationWorkload(db, "census", *exec, opts)
+                        .MoveValue();
+  opts.coverage_ratio = 1.0;
+  Workload full = GenerateSingleRelationWorkload(db, "census", *exec, opts)
+                      .MoveValue();
+  // The low-coverage workload must use strictly fewer distinct literals.
+  auto distinct_literals = [](const Workload& w) {
+    std::set<std::string> lits;
+    for (const auto& q : w) {
+      for (const auto& p : q.predicates) {
+        lits.insert(p.column + "=" + p.literal.ToString());
+      }
+    }
+    return lits.size();
+  };
+  EXPECT_LT(distinct_literals(narrow), distinct_literals(full));
+}
+
+TEST(MultiRelationWorkloadTest, JoinsUpToTwoChildren) {
+  Database db = MakeImdbLike(300, 41);
+  auto exec = Executor::Create(&db).MoveValue();
+  MultiRelationWorkloadOptions opts;
+  opts.num_queries = 120;
+  Workload w = GenerateMultiRelationWorkload(db, *exec, opts).MoveValue();
+  ASSERT_EQ(w.size(), 120u);
+  bool saw_single = false, saw_join = false;
+  for (const auto& q : w) {
+    EXPECT_LE(q.relations.size(), 3u);  // title + up to 2 joins.
+    if (q.relations.size() == 1) saw_single = true;
+    if (q.relations.size() > 1) {
+      saw_join = true;
+      EXPECT_EQ(q.relations[0], "title");
+    }
+    EXPECT_EQ(exec->Cardinality(q).ValueOrDie(), q.cardinality);
+  }
+  EXPECT_TRUE(saw_single);
+  EXPECT_TRUE(saw_join);
+}
+
+TEST(JobLightWorkloadTest, JoinsUpToFiveChildren) {
+  Database db = MakeImdbLike(300, 43);
+  auto exec = Executor::Create(&db).MoveValue();
+  JobLightWorkloadOptions opts;
+  opts.num_queries = 70;
+  Workload w = GenerateJobLightWorkload(db, *exec, opts).MoveValue();
+  ASSERT_EQ(w.size(), 70u);
+  size_t max_rels = 0;
+  for (const auto& q : w) {
+    EXPECT_EQ(q.relations[0], "title");
+    EXPECT_GE(q.relations.size(), 2u);
+    max_rels = std::max(max_rels, q.relations.size());
+  }
+  EXPECT_GE(max_rels, 4u);  // Some queries must use many joins.
+}
+
+TEST(WorkloadDedupTest, RemovesStructuralDuplicates) {
+  Database db = MakeCensusLike(200, 51);
+  auto exec = Executor::Create(&db).MoveValue();
+  SingleRelationWorkloadOptions opts;
+  opts.num_queries = 50;
+  opts.seed = 9;
+  Workload a = GenerateSingleRelationWorkload(db, "census", *exec, opts)
+                   .MoveValue();
+  // Same seed -> identical workload -> everything is a duplicate.
+  Workload b = GenerateSingleRelationWorkload(db, "census", *exec, opts)
+                   .MoveValue();
+  EXPECT_TRUE(RemoveDuplicateQueries(a, b).empty());
+  // Different seed -> mostly unique.
+  opts.seed = 10;
+  Workload c = GenerateSingleRelationWorkload(db, "census", *exec, opts)
+                   .MoveValue();
+  EXPECT_GT(RemoveDuplicateQueries(a, c).size(), 40u);
+}
+
+TEST(WorkloadIoTest, RoundTripsAllPredicateKinds) {
+  Workload w;
+  Query q1;
+  q1.relations = {"t"};
+  q1.predicates = {Predicate{"t", "a", PredOp::kLe, Value(int64_t{42}), {}}};
+  q1.cardinality = 7;
+  w.push_back(q1);
+  Query q2;
+  q2.relations = {"title", "cast_info"};
+  Predicate in_pred{"cast_info", "role_id", PredOp::kIn, Value(), {}};
+  in_pred.in_list = {Value(int64_t{1}), Value(int64_t{3})};
+  q2.predicates = {in_pred,
+                   Predicate{"title", "name", PredOp::kEq,
+                             Value(std::string("semi;colon,comma|pipe")), {}}};
+  q2.cardinality = 123456789;
+  w.push_back(q2);
+  Query q3;  // No predicates.
+  q3.relations = {"t"};
+  q3.cardinality = 0;
+  w.push_back(q3);
+
+  const std::string path = "/tmp/sam_workload_test.txt";
+  ASSERT_TRUE(SaveWorkload(w, path).ok());
+  auto back = LoadWorkload(path);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  const Workload& r = back.ValueOrDie();
+  ASSERT_EQ(r.size(), 3u);
+  EXPECT_TRUE(QueriesEqual(w[0], r[0]));
+  EXPECT_TRUE(QueriesEqual(w[1], r[1]));
+  EXPECT_TRUE(QueriesEqual(w[2], r[2]));
+  EXPECT_EQ(r[1].cardinality, 123456789);
+  EXPECT_EQ(r[1].predicates[1].literal.AsString(), "semi;colon,comma|pipe");
+  std::remove(path.c_str());
+}
+
+TEST(CrossEntropyTest, IdenticalTablesGiveEntropyOfData) {
+  Database db = MakeCensusLike(300, 61);
+  const Table* t = db.FindTable("census");
+  const auto cols = t->ContentColumnNames();
+  const double h_self = CrossEntropyBits(*t, *t, cols).MoveValue();
+  // Cross entropy of a table with itself equals its empirical entropy, which
+  // is at most log2(num_rows).
+  EXPECT_GE(h_self, 0.0);
+  EXPECT_LE(h_self, std::log2(300.0) + 1e-9);
+
+  // A mismatched table must have strictly larger cross entropy.
+  Database db2 = MakeCensusLike(300, 62);
+  const Table* t2 = db2.FindTable("census");
+  const double h_cross = CrossEntropyBits(*t, *t2, cols).MoveValue();
+  EXPECT_GT(h_cross, h_self);
+}
+
+TEST(CrossEntropyTest, MissingColumnFails) {
+  Database db = MakeCensusLike(50, 63);
+  const Table* t = db.FindTable("census");
+  EXPECT_FALSE(CrossEntropyBits(*t, *t, {"nope"}).ok());
+}
+
+TEST(PerformanceDeviationTest, IdenticalDatabasesHaveSmallDeviation) {
+  Database db = MakeCensusLike(2000, 65);
+  auto e1 = Executor::Create(&db).MoveValue();
+  auto e2 = Executor::Create(&db).MoveValue();
+  SingleRelationWorkloadOptions opts;
+  opts.num_queries = 20;
+  Workload w = GenerateSingleRelationWorkload(db, "census", *e1, opts)
+                   .MoveValue();
+  const MetricSummary s = PerformanceDeviationMs(*e1, *e2, w, 3).MoveValue();
+  EXPECT_EQ(s.count, 20u);
+  // Same engine, same data: deviation should be tiny (< 5 ms even on a noisy
+  // machine).
+  EXPECT_LT(s.median, 5.0);
+}
+
+TEST(QErrorOnDatabaseTest, PerfectDatabaseScoresOne) {
+  Database db = MakeCensusLike(400, 67);
+  auto exec = Executor::Create(&db).MoveValue();
+  SingleRelationWorkloadOptions opts;
+  opts.num_queries = 30;
+  Workload w = GenerateSingleRelationWorkload(db, "census", *exec, opts)
+                   .MoveValue();
+  const MetricSummary s = QErrorOnDatabase(*exec, w).MoveValue();
+  EXPECT_DOUBLE_EQ(s.median, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 1.0);
+}
+
+}  // namespace
+}  // namespace sam

@@ -1,0 +1,429 @@
+// samdb_cli — end-to-end command-line driver for the SAM pipeline.
+//
+// Subcommands:
+//   dataset   Build a synthetic dataset and save it as schema.txt + CSVs.
+//   workload  Generate a labelled query workload against a saved database.
+//   train     Train a SAM model from a database's *metadata* + a workload.
+//   generate  Generate a synthetic database from a trained model.
+//   evaluate  Compare a generated database against the original on a workload.
+//   estimate  Print progressive-sampling cardinality estimates for a workload.
+//
+// Example session:
+//   samdb_cli dataset  --kind=census --rows=8000 --out=/tmp/orig
+//   samdb_cli workload --db=/tmp/orig --queries=2000 --out=/tmp/train.wl
+//   samdb_cli train    --db=/tmp/orig --workload=/tmp/train.wl \
+//                      --hints=census --model-out=/tmp/model.bin --epochs=8
+//   samdb_cli generate --db=/tmp/orig --workload=/tmp/train.wl \
+//                      --hints=census --model=/tmp/model.bin --out=/tmp/synth
+//   samdb_cli evaluate --original=/tmp/orig --generated=/tmp/synth \
+//                      --workload=/tmp/train.wl
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ar/estimator.h"
+#include "common/string_util.h"
+#include "datasets/datasets.h"
+#include "engine/executor.h"
+#include "metrics/metrics.h"
+#include "sam/sam_model.h"
+#include "storage/schema_io.h"
+#include "workload/generator.h"
+#include "workload/io.h"
+
+namespace sam::cli {
+namespace {
+
+/// Minimal --key=value flag map.
+class Flags {
+ public:
+  Flags(int argc, char** argv, int start) {
+    for (int i = start; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (!StartsWith(arg, "--")) {
+        std::fprintf(stderr, "warning: ignoring positional argument '%s'\n",
+                     arg.c_str());
+        continue;
+      }
+      arg = arg.substr(2);
+      const size_t eq = arg.find('=');
+      if (eq == std::string::npos) {
+        values_[arg] = "true";
+      } else {
+        values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      }
+    }
+  }
+
+  std::string Get(const std::string& key, const std::string& fallback = "") const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  int64_t GetInt(const std::string& key, int64_t fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback
+                               : std::strtoll(it->second.c_str(), nullptr, 10);
+  }
+
+  double GetDouble(const std::string& key, double fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback
+                               : std::strtod(it->second.c_str(), nullptr);
+  }
+
+  bool GetBool(const std::string& key) const {
+    return Get(key) == "true" || Get(key) == "1";
+  }
+
+  bool Has(const std::string& key) const { return values_.count(key) != 0; }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+int Fail(const std::string& msg) {
+  std::fprintf(stderr, "error: %s\n", msg.c_str());
+  return 1;
+}
+
+int FailStatus(const Status& st) { return Fail(st.ToString()); }
+
+/// Built-in SchemaHints presets matching the bundled datasets.
+Result<SchemaHints> HintsByName(const std::string& name) {
+  SchemaHints hints;
+  if (name == "census") {
+    hints.numeric_columns = {"census.age", "census.education_num",
+                             "census.capital_gain", "census.capital_loss",
+                             "census.hours_per_week"};
+    hints.numeric_bounds["census.age"] = {17, 90};
+    hints.numeric_bounds["census.education_num"] = {1, 16};
+    hints.numeric_bounds["census.capital_gain"] = {0, 61000};
+    hints.numeric_bounds["census.capital_loss"] = {0, 10000};
+    hints.numeric_bounds["census.hours_per_week"] = {1, 99};
+  } else if (name == "dmv") {
+    hints.numeric_columns = {"dmv.valid_date"};
+    hints.numeric_bounds["dmv.valid_date"] = {0, 2100};
+  } else if (name == "imdb") {
+    hints.numeric_columns = {"title.production_year"};
+    hints.numeric_bounds["title.production_year"] = {1900, 2025};
+    hints.fanout_cap = 25;
+  } else if (name.empty() || name == "none") {
+    // No numeric columns: every filtered column is categorical.
+  } else {
+    return Status::InvalidArgument("unknown --hints preset '" + name +
+                                   "' (census|dmv|imdb|none)");
+  }
+  return hints;
+}
+
+/// Parses extra --numeric=table.col:min:max specs (repeatable via commas).
+Status ApplyNumericSpecs(const std::string& spec, SchemaHints* hints) {
+  if (spec.empty()) return Status::OK();
+  for (const auto& item : Split(spec, ',')) {
+    const auto parts = Split(item, ':');
+    if (parts.size() != 3) {
+      return Status::InvalidArgument("bad --numeric item '" + item +
+                                     "' (want table.col:min:max)");
+    }
+    hints->numeric_columns.push_back(parts[0]);
+    hints->numeric_bounds[parts[0]] = {std::strtod(parts[1].c_str(), nullptr),
+                                       std::strtod(parts[2].c_str(), nullptr)};
+  }
+  return Status::OK();
+}
+
+SamOptions OptionsFromFlags(const Flags& flags) {
+  SamOptions options;
+  options.training.epochs = static_cast<size_t>(flags.GetInt("epochs", 10));
+  options.training.batch_size = static_cast<size_t>(flags.GetInt("batch", 64));
+  options.training.learning_rate = flags.GetDouble("lr", 3e-3);
+  options.training.sample_paths = static_cast<size_t>(flags.GetInt("paths", 2));
+  options.training.time_budget_seconds = flags.GetDouble("time-budget", 0);
+  options.training.seed = static_cast<uint64_t>(flags.GetInt("seed", 777));
+  const int64_t hidden = flags.GetInt("hidden", 48);
+  options.model.hidden_sizes = {static_cast<size_t>(hidden),
+                                static_cast<size_t>(hidden)};
+  options.foj_samples = static_cast<size_t>(flags.GetInt("foj-samples", 60000));
+  options.use_group_and_merge = !flags.GetBool("no-group-and-merge");
+  options.generation_seed = static_cast<uint64_t>(flags.GetInt("gen-seed", 999));
+  return options;
+}
+
+int CmdDataset(const Flags& flags) {
+  const std::string kind = flags.Get("kind", "census");
+  const std::string out = flags.Get("out");
+  if (out.empty()) return Fail("dataset: --out=DIR is required");
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  const size_t rows = static_cast<size_t>(flags.GetInt("rows", 8000));
+  Database db;
+  if (kind == "census") {
+    db = MakeCensusLike(rows, seed);
+  } else if (kind == "dmv") {
+    db = MakeDmvLike(rows, seed);
+  } else if (kind == "imdb") {
+    db = MakeImdbLike(rows, seed);
+  } else if (kind == "figure3") {
+    db = MakeFigure3Database();
+  } else if (kind == "chain") {
+    db = MakeChainDatabase();
+  } else {
+    return Fail("dataset: unknown --kind (census|dmv|imdb|figure3|chain)");
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(out, ec);
+  const Status st = SaveDatabase(db, out);
+  if (!st.ok()) return FailStatus(st);
+  std::printf("wrote %zu table(s) to %s\n", db.num_tables(), out.c_str());
+  return 0;
+}
+
+int CmdWorkload(const Flags& flags) {
+  const std::string db_dir = flags.Get("db");
+  const std::string out = flags.Get("out");
+  if (db_dir.empty() || out.empty()) {
+    return Fail("workload: --db=DIR and --out=FILE are required");
+  }
+  auto db = LoadDatabase(db_dir);
+  if (!db.ok()) return FailStatus(db.status());
+  auto exec = Executor::Create(&db.ValueOrDie());
+  if (!exec.ok()) return FailStatus(exec.status());
+
+  Result<Workload> workload = Status::Internal("unset");
+  const size_t n = static_cast<size_t>(flags.GetInt("queries", 1000));
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 100));
+  if (flags.GetBool("joblight")) {
+    JobLightWorkloadOptions opts;
+    opts.num_queries = n;
+    opts.seed = seed;
+    workload = GenerateJobLightWorkload(db.ValueOrDie(), *exec.ValueOrDie(), opts);
+  } else if (db.ValueOrDie().num_tables() > 1) {
+    MultiRelationWorkloadOptions opts;
+    opts.num_queries = n;
+    opts.seed = seed;
+    opts.max_joins = static_cast<size_t>(flags.GetInt("max-joins", 2));
+    workload =
+        GenerateMultiRelationWorkload(db.ValueOrDie(), *exec.ValueOrDie(), opts);
+  } else {
+    SingleRelationWorkloadOptions opts;
+    opts.num_queries = n;
+    opts.seed = seed;
+    opts.coverage_ratio = flags.GetDouble("coverage", 1.0);
+    opts.max_filters = static_cast<size_t>(flags.GetInt("max-filters", 5));
+    const std::string table =
+        flags.Get("table", db.ValueOrDie().tables()[0].name());
+    workload = GenerateSingleRelationWorkload(db.ValueOrDie(), table,
+                                              *exec.ValueOrDie(), opts);
+  }
+  if (!workload.ok()) return FailStatus(workload.status());
+  const Status st = SaveWorkload(workload.ValueOrDie(), out);
+  if (!st.ok()) return FailStatus(st);
+  std::printf("wrote %zu queries to %s\n", workload.ValueOrDie().size(),
+              out.c_str());
+  return 0;
+}
+
+/// Shared setup for train/generate/estimate: load database, workload, hints.
+struct PipelineInputs {
+  Database db;
+  std::unique_ptr<Executor> exec;
+  Workload workload;
+  SchemaHints hints;
+  int64_t foj_size = 0;
+};
+
+Result<PipelineInputs> LoadPipelineInputs(const Flags& flags) {
+  PipelineInputs in;
+  const std::string db_dir = flags.Get("db");
+  if (db_dir.empty()) return Status::InvalidArgument("--db=DIR is required");
+  SAM_ASSIGN_OR_RETURN(in.db, LoadDatabase(db_dir));
+  SAM_ASSIGN_OR_RETURN(in.exec, Executor::Create(&in.db));
+  const std::string wl = flags.Get("workload");
+  if (wl.empty()) return Status::InvalidArgument("--workload=FILE is required");
+  SAM_ASSIGN_OR_RETURN(in.workload, LoadWorkload(wl));
+  SAM_ASSIGN_OR_RETURN(in.hints, HintsByName(flags.Get("hints")));
+  SAM_RETURN_NOT_OK(ApplyNumericSpecs(flags.Get("numeric"), &in.hints));
+  in.foj_size = in.db.num_tables() > 1
+                    ? in.exec->FullOuterJoinSize()
+                    : static_cast<int64_t>(in.db.tables()[0].num_rows());
+  return in;
+}
+
+int CmdTrain(const Flags& flags) {
+  auto inputs = LoadPipelineInputs(flags);
+  if (!inputs.ok()) return FailStatus(inputs.status());
+  PipelineInputs& in = inputs.ValueOrDie();
+  const std::string model_out = flags.Get("model-out");
+  if (model_out.empty()) return Fail("train: --model-out=FILE is required");
+
+  auto sam = SamModel::Train(in.db, in.workload, in.hints, in.foj_size,
+                             OptionsFromFlags(flags), [](const DpsEpochStats& s) {
+                               std::printf("epoch %zu: loss=%.4f (%.1fs)\n",
+                                           s.epoch, s.mean_loss,
+                                           s.seconds_elapsed);
+                               std::fflush(stdout);
+                             });
+  if (!sam.ok()) return FailStatus(sam.status());
+  const Status st = sam.ValueOrDie()->model()->Save(model_out);
+  if (!st.ok()) return FailStatus(st);
+  std::printf("saved model (%zu parameters) to %s\n",
+              sam.ValueOrDie()->model()->num_parameters(), model_out.c_str());
+  return 0;
+}
+
+int CmdGenerate(const Flags& flags) {
+  auto inputs = LoadPipelineInputs(flags);
+  if (!inputs.ok()) return FailStatus(inputs.status());
+  PipelineInputs& in = inputs.ValueOrDie();
+  const std::string model_path = flags.Get("model");
+  const std::string out = flags.Get("out");
+  if (model_path.empty() || out.empty()) {
+    return Fail("generate: --model=FILE and --out=DIR are required");
+  }
+  auto sam = SamModel::Create(in.db, in.workload, in.hints, in.foj_size,
+                              OptionsFromFlags(flags));
+  if (!sam.ok()) return FailStatus(sam.status());
+  Status st = sam.ValueOrDie()->model()->Load(model_path);
+  if (!st.ok()) return FailStatus(st);
+  sam.ValueOrDie()->model()->SyncSamplerWeights();
+
+  auto gen = sam.ValueOrDie()->Generate();
+  if (!gen.ok()) return FailStatus(gen.status());
+  std::error_code ec;
+  std::filesystem::create_directories(out, ec);
+  st = SaveDatabase(gen.ValueOrDie(), out);
+  if (!st.ok()) return FailStatus(st);
+  for (const auto& t : gen.ValueOrDie().tables()) {
+    std::printf("%-20s %zu rows\n", t.name().c_str(), t.num_rows());
+  }
+  std::printf("wrote synthetic database to %s\n", out.c_str());
+  return 0;
+}
+
+int CmdEvaluate(const Flags& flags) {
+  const std::string orig_dir = flags.Get("original");
+  const std::string gen_dir = flags.Get("generated");
+  const std::string wl = flags.Get("workload");
+  if (orig_dir.empty() || gen_dir.empty() || wl.empty()) {
+    return Fail(
+        "evaluate: --original=DIR, --generated=DIR and --workload=FILE are "
+        "required");
+  }
+  auto orig = LoadDatabase(orig_dir);
+  if (!orig.ok()) return FailStatus(orig.status());
+  auto gen = LoadDatabase(gen_dir);
+  if (!gen.ok()) return FailStatus(gen.status());
+  auto workload = LoadWorkload(wl);
+  if (!workload.ok()) return FailStatus(workload.status());
+  auto orig_exec = Executor::Create(&orig.ValueOrDie());
+  auto gen_exec = Executor::Create(&gen.ValueOrDie());
+  if (!orig_exec.ok()) return FailStatus(orig_exec.status());
+  if (!gen_exec.ok()) return FailStatus(gen_exec.status());
+
+  auto qe = QErrorOnDatabase(*gen_exec.ValueOrDie(), workload.ValueOrDie());
+  if (!qe.ok()) return FailStatus(qe.status());
+  const MetricSummary& s = qe.ValueOrDie();
+  std::printf("Q-Error:   median=%s 75th=%s 90th=%s mean=%s max=%s (n=%zu)\n",
+              FormatMetric(s.median).c_str(), FormatMetric(s.p75).c_str(),
+              FormatMetric(s.p90).c_str(), FormatMetric(s.mean).c_str(),
+              FormatMetric(s.max).c_str(), s.count);
+
+  // Cross entropy per shared relation on its content columns.
+  for (const auto& t : orig.ValueOrDie().tables()) {
+    const Table* g = gen.ValueOrDie().FindTable(t.name());
+    if (g == nullptr || t.num_rows() == 0 || g->num_rows() == 0) continue;
+    auto h = CrossEntropyBits(t, *g, t.ContentColumnNames());
+    if (h.ok()) {
+      std::printf("CrossEnt:  %-18s %.2f bits\n", t.name().c_str(),
+                  h.ValueOrDie());
+    }
+  }
+
+  if (flags.GetBool("latency")) {
+    auto dev = PerformanceDeviationMs(*orig_exec.ValueOrDie(),
+                                      *gen_exec.ValueOrDie(),
+                                      workload.ValueOrDie(), 5);
+    if (!dev.ok()) return FailStatus(dev.status());
+    std::printf("LatDev ms: median=%.3f 90th=%.3f mean=%.3f\n",
+                dev.ValueOrDie().median, dev.ValueOrDie().p90,
+                dev.ValueOrDie().mean);
+  }
+  return 0;
+}
+
+int CmdEstimate(const Flags& flags) {
+  auto inputs = LoadPipelineInputs(flags);
+  if (!inputs.ok()) return FailStatus(inputs.status());
+  PipelineInputs& in = inputs.ValueOrDie();
+  const std::string model_path = flags.Get("model");
+  if (model_path.empty()) return Fail("estimate: --model=FILE is required");
+  auto sam = SamModel::Create(in.db, in.workload, in.hints, in.foj_size,
+                              OptionsFromFlags(flags));
+  if (!sam.ok()) return FailStatus(sam.status());
+  Status st = sam.ValueOrDie()->model()->Load(model_path);
+  if (!st.ok()) return FailStatus(st);
+  sam.ValueOrDie()->model()->SyncSamplerWeights();
+
+  ProgressiveEstimator estimator(sam.ValueOrDie()->model(),
+                                 static_cast<size_t>(flags.GetInt("paths", 400)));
+  const size_t limit = static_cast<size_t>(
+      flags.GetInt("limit", static_cast<int64_t>(in.workload.size())));
+  std::vector<double> qerrors;
+  for (size_t i = 0; i < std::min(limit, in.workload.size()); ++i) {
+    const Query& q = in.workload[i];
+    auto est = estimator.EstimateCardinality(q);
+    if (!est.ok()) return FailStatus(est.status());
+    const double qe = QError(est.ValueOrDie(), static_cast<double>(q.cardinality));
+    qerrors.push_back(qe);
+    if (flags.GetBool("verbose")) {
+      std::printf("est=%12.0f true=%12lld qerr=%7.2f  %s\n", est.ValueOrDie(),
+                  static_cast<long long>(q.cardinality), qe,
+                  q.ToString().c_str());
+    }
+  }
+  const MetricSummary s = Summarize(std::move(qerrors));
+  std::printf("estimator Q-Error: median=%s 90th=%s mean=%s (n=%zu)\n",
+              FormatMetric(s.median).c_str(), FormatMetric(s.p90).c_str(),
+              FormatMetric(s.mean).c_str(), s.count);
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: samdb_cli <command> [--flags]\n"
+      "commands:\n"
+      "  dataset   --kind=census|dmv|imdb|figure3|chain --rows=N --seed=S --out=DIR\n"
+      "  workload  --db=DIR --queries=N [--table=T|--joblight] [--coverage=R] --out=FILE\n"
+      "  train     --db=DIR --workload=FILE --hints=census|dmv|imdb|none\n"
+      "            [--numeric=t.c:min:max,...] [--epochs --batch --lr --paths\n"
+      "             --hidden --time-budget] --model-out=FILE\n"
+      "  generate  --db=DIR --workload=FILE --hints=... --model=FILE --out=DIR\n"
+      "            [--foj-samples=K] [--no-group-and-merge]\n"
+      "  evaluate  --original=DIR --generated=DIR --workload=FILE [--latency]\n"
+      "  estimate  --db=DIR --workload=FILE --hints=... --model=FILE [--verbose]\n");
+  return 2;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string cmd = argv[1];
+  const Flags flags(argc, argv, 2);
+  if (cmd == "dataset") return CmdDataset(flags);
+  if (cmd == "workload") return CmdWorkload(flags);
+  if (cmd == "train") return CmdTrain(flags);
+  if (cmd == "generate") return CmdGenerate(flags);
+  if (cmd == "evaluate") return CmdEvaluate(flags);
+  if (cmd == "estimate") return CmdEstimate(flags);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace sam::cli
+
+int main(int argc, char** argv) { return sam::cli::Main(argc, argv); }
