@@ -26,6 +26,10 @@ BenchConfig ParseArgs(int argc, char** argv) {
       config.paths_override = std::strtoull(arg.c_str() + 8, nullptr, 10);
     } else if (StartsWith(arg, "--lr=")) {
       config.lr_override = std::strtod(arg.c_str() + 5, nullptr);
+    } else if (StartsWith(arg, "--repeats=")) {
+      config.repeats = static_cast<int>(std::strtol(arg.c_str() + 10, nullptr, 10));
+    } else if (StartsWith(arg, "--threads=")) {
+      config.threads = std::strtoull(arg.c_str() + 10, nullptr, 10);
     } else if (StartsWith(arg, "--benchmark")) {
       // Allow google-benchmark flags to pass through harness binaries.
     } else {
@@ -100,7 +104,11 @@ SamOptions ImdbSamOptions(const BenchConfig& config) {
 
 Result<std::map<std::string, int64_t>> ViewSizesFor(const Executor& executor,
                                                     const Workload& workload) {
+  // Collect the distinct relation sets, then evaluate the unfiltered view
+  // sizes as one batch.
   std::map<std::string, int64_t> out;
+  std::vector<std::string> keys;
+  Workload views;
   for (const auto& q : workload) {
     std::vector<std::string> rels = q.relations;
     std::sort(rels.begin(), rels.end());
@@ -110,10 +118,15 @@ Result<std::map<std::string, int64_t>> ViewSizesFor(const Executor& executor,
       key += r;
     }
     if (out.count(key) != 0) continue;
+    out[key] = 0;
+    keys.push_back(key);
     Query unfiltered;
     unfiltered.relations = q.relations;
-    SAM_ASSIGN_OR_RETURN(out[key], executor.Cardinality(unfiltered));
+    views.push_back(std::move(unfiltered));
   }
+  SAM_ASSIGN_OR_RETURN(std::vector<int64_t> sizes,
+                       executor.ParallelCardinality(views));
+  for (size_t i = 0; i < keys.size(); ++i) out[keys[i]] = sizes[i];
   return out;
 }
 

@@ -31,6 +31,10 @@ struct BenchConfig {
   size_t epochs_override = 0;
   size_t paths_override = 0;
   double lr_override = 0;
+  /// Repetitions for timing loops (latency/throughput benches).
+  int repeats = 3;
+  /// Worker threads for batched evaluation (0 = hardware concurrency).
+  size_t threads = 0;
 };
 
 BenchConfig ParseArgs(int argc, char** argv);

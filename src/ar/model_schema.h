@@ -102,6 +102,16 @@ class ModelSchema {
     return table_sizes_;
   }
 
+  /// \brief Reorders the model columns to `perm` (an AR-ordering experiment
+  /// knob: perm[i] = index, in the current layout, of the column that moves
+  /// to position i).
+  ///
+  /// One-hot offsets are recomputed; everything else (domains, join graph,
+  /// table sizes) is order-independent. Fails unless `perm` is a permutation
+  /// of [0, num_columns()). Must be applied before any model is built on the
+  /// schema, since masks and sampling order follow the column order.
+  Status ReorderColumns(const std::vector<size_t>& perm);
+
   /// Index of the column with the given role, or -1.
   int FindColumn(ModelColumnKind kind, const std::string& table,
                  const std::string& name) const;

@@ -39,18 +39,36 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   if (n == 0) return;
   const size_t shards = std::min(n, workers_.size());
   std::atomic<size_t> next{0};
+  std::atomic<bool> failed{false};
   std::vector<std::future<void>> futs;
   futs.reserve(shards);
   for (size_t s = 0; s < shards; ++s) {
     futs.push_back(Submit([&] {
-      while (true) {
+      while (!failed.load(std::memory_order_relaxed)) {
         const size_t i = next.fetch_add(1);
         if (i >= n) break;
-        fn(i);
+        try {
+          fn(i);
+        } catch (...) {
+          failed.store(true, std::memory_order_relaxed);
+          throw;  // Stored in the shard's future; rethrown after the join.
+        }
       }
     }));
   }
-  for (auto& f : futs) f.get();
+  // Join every shard before letting any exception escape: `next`, `fn`, and
+  // `failed` live on this stack frame, so propagating out of the first
+  // faulting future while other shards still run would leave them touching
+  // a dead frame. Rethrow the first failure only once all futures are done.
+  std::exception_ptr first_error;
+  for (auto& f : futs) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 void ThreadPool::WorkerLoop() {

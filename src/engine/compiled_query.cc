@@ -1,0 +1,129 @@
+#include "engine/compiled_query.h"
+
+#include <algorithm>
+
+namespace sam {
+
+bool CodePredicate::Matches(int32_t code) const {
+  if (code == kNullCode) return false;
+  if (use_set) {
+    return std::binary_search(code_set.begin(), code_set.end(), code);
+  }
+  return code >= lo && code <= hi;
+}
+
+Result<CodePredicate> CompilePredicate(const Table& table, const Predicate& pred) {
+  SAM_ASSIGN_OR_RETURN(size_t idx, table.ColumnIndex(pred.column));
+  const Column& col = table.column(idx);
+  CodePredicate out;
+  out.column_index = idx;
+  const int32_t max_code = static_cast<int32_t>(col.dict_size()) - 1;
+  switch (pred.op) {
+    case PredOp::kEq: {
+      const int32_t c = col.CodeOf(pred.literal);
+      if (c < 0) {
+        out.lo = 1;
+        out.hi = 0;  // Empty range: literal absent from the column.
+      } else {
+        out.lo = out.hi = c;
+      }
+      break;
+    }
+    case PredOp::kLe:
+      out.lo = 0;
+      out.hi = col.UpperBoundCode(pred.literal) - 1;
+      break;
+    case PredOp::kLt:
+      out.lo = 0;
+      out.hi = col.LowerBoundCode(pred.literal) - 1;
+      break;
+    case PredOp::kGe:
+      out.lo = col.LowerBoundCode(pred.literal);
+      out.hi = max_code;
+      break;
+    case PredOp::kGt:
+      out.lo = col.UpperBoundCode(pred.literal);
+      out.hi = max_code;
+      break;
+    case PredOp::kIn: {
+      out.use_set = true;
+      for (const auto& v : pred.in_list) {
+        const int32_t c = col.CodeOf(v);
+        if (c >= 0) out.code_set.push_back(c);
+      }
+      std::sort(out.code_set.begin(), out.code_set.end());
+      out.code_set.erase(std::unique(out.code_set.begin(), out.code_set.end()),
+                         out.code_set.end());
+      break;
+    }
+  }
+  return out;
+}
+
+namespace engine {
+
+void RelationPlan::EvalPredicates(std::vector<char>* sat) const {
+  sat->assign(table->num_rows(), 1);
+  char* bits = sat->data();
+  for (const CodePredicate& cp : predicates) {
+    const int32_t* codes = table->column(cp.column_index).codes().data();
+    const size_t n = sat->size();
+    if (cp.use_set) {
+      for (size_t r = 0; r < n; ++r) {
+        if (bits[r] && !cp.Matches(codes[r])) bits[r] = 0;
+      }
+    } else {
+      // Range predicate: codes below `lo` include kNullCode, so NULL rows are
+      // rejected by the same compare (lo >= 0 always).
+      const int32_t lo = cp.lo;
+      const int32_t hi = cp.hi;
+      for (size_t r = 0; r < n; ++r) {
+        const int32_t c = codes[r];
+        bits[r] = static_cast<char>(bits[r] & (c >= lo) & (c <= hi));
+      }
+    }
+  }
+}
+
+Result<CompiledQuery> CompiledQuery::Compile(const Database& db,
+                                             const JoinGraph& graph,
+                                             const Query& q) {
+  if (q.relations.empty()) {
+    return Status::InvalidArgument("query with no relations");
+  }
+  CompiledQuery out;
+  out.relations_ = q.relations;
+  out.plans_.reserve(q.relations.size());
+  for (const auto& rel : q.relations) {
+    const Table* t = db.FindTable(rel);
+    if (t == nullptr) return Status::NotFound("table '" + rel + "'");
+    RelationPlan plan;
+    plan.name = rel;
+    plan.table = t;
+    for (const Predicate* p : q.PredicatesOn(rel)) {
+      SAM_ASSIGN_OR_RETURN(CodePredicate cp, CompilePredicate(*t, *p));
+      plan.predicates.push_back(std::move(cp));
+    }
+    out.plans_.push_back(std::move(plan));
+  }
+  // Locate the top relation: the unique one whose parent is outside the
+  // query; all other relations' parents must be inside (connected subtree).
+  for (const auto& rel : q.relations) {
+    const std::string parent = graph.Parent(rel);
+    const bool parent_in =
+        std::find(q.relations.begin(), q.relations.end(), parent) !=
+        q.relations.end();
+    if (parent.empty() || !parent_in) {
+      if (!out.top_.empty()) {
+        return Status::InvalidArgument(
+            "query relations do not form a connected subtree: both '" +
+            out.top_ + "' and '" + rel + "' lack an in-query parent");
+      }
+      out.top_ = rel;
+    }
+  }
+  return out;
+}
+
+}  // namespace engine
+}  // namespace sam

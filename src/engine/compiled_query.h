@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "query/query.h"
+#include "storage/database.h"
+#include "storage/join_graph.h"
+
+namespace sam {
+
+/// \brief Compiled form of a predicate against a concrete column: a code
+/// interval plus an optional code set (IN lists).
+///
+/// Dictionary order equals value order, so range predicates compile to code
+/// ranges and row evaluation is a pair of integer compares.
+struct CodePredicate {
+  size_t column_index = 0;
+  int32_t lo = 0;            ///< Inclusive lower code bound.
+  int32_t hi = 0;            ///< Inclusive upper code bound.
+  bool use_set = false;
+  std::vector<int32_t> code_set;  ///< Sorted codes, for kIn.
+
+  bool Matches(int32_t code) const;
+};
+
+/// \brief Compiles `pred` against `table`; fails for unknown columns.
+Result<CodePredicate> CompilePredicate(const Table& table, const Predicate& pred);
+
+namespace engine {
+
+/// \brief One relation of a compiled query: the resolved table plus its
+/// conjunctive predicate program in dictionary-code space.
+struct RelationPlan {
+  std::string name;
+  const Table* table = nullptr;
+  std::vector<CodePredicate> predicates;
+
+  /// Evaluates the conjunction directly over the dictionary codes into `sat`
+  /// (resized to the table's row count). No per-row Value construction.
+  void EvalPredicates(std::vector<char>* sat) const;
+};
+
+/// \brief A query compiled once against a concrete database.
+///
+/// Compilation resolves relation names to Table pointers, checks that the
+/// join relations form a connected subtree of the join graph, locates the
+/// top relation, and lowers every predicate to a CodePredicate. A compiled
+/// query is immutable afterwards, so many threads may evaluate it
+/// concurrently, each with its own EvalScratch.
+class CompiledQuery {
+ public:
+  static Result<CompiledQuery> Compile(const Database& db,
+                                       const JoinGraph& graph, const Query& q);
+
+  const std::vector<RelationPlan>& plans() const { return plans_; }
+  const std::vector<std::string>& relations() const { return relations_; }
+
+  /// The unique relation whose join-graph parent is outside the query.
+  const std::string& top() const { return top_; }
+
+ private:
+  std::vector<RelationPlan> plans_;
+  std::vector<std::string> relations_;
+  std::string top_;
+};
+
+/// \brief Reusable per-thread buffers for compiled-query evaluation.
+///
+/// Keeping the bitmaps and weight vectors alive across queries removes the
+/// per-query allocation churn of the row-at-a-time path; each evaluating
+/// thread owns exactly one scratch.
+struct EvalScratch {
+  /// Per relation: predicate-satisfaction bitmap of the current query.
+  std::unordered_map<std::string, std::vector<char>> sat;
+  /// Per relation: bottom-up subtree weight buffer.
+  std::unordered_map<std::string, std::vector<double>> weights;
+  /// Per join edge (keyed by child relation): dense aggregation buckets.
+  std::unordered_map<std::string, std::vector<double>> agg;
+};
+
+}  // namespace engine
+}  // namespace sam

@@ -3,67 +3,13 @@
 #include <algorithm>
 #include <cmath>
 #include <functional>
+#include <future>
 
 #include "common/logging.h"
 #include "common/stopwatch.h"
+#include "common/thread_pool.h"
 
 namespace sam {
-
-bool CodePredicate::Matches(int32_t code) const {
-  if (code == kNullCode) return false;
-  if (use_set) {
-    return std::binary_search(code_set.begin(), code_set.end(), code);
-  }
-  return code >= lo && code <= hi;
-}
-
-Result<CodePredicate> CompilePredicate(const Table& table, const Predicate& pred) {
-  SAM_ASSIGN_OR_RETURN(size_t idx, table.ColumnIndex(pred.column));
-  const Column& col = table.column(idx);
-  CodePredicate out;
-  out.column_index = idx;
-  const int32_t max_code = static_cast<int32_t>(col.dict_size()) - 1;
-  switch (pred.op) {
-    case PredOp::kEq: {
-      const int32_t c = col.CodeOf(pred.literal);
-      if (c < 0) {
-        out.lo = 1;
-        out.hi = 0;  // Empty range: literal absent from the column.
-      } else {
-        out.lo = out.hi = c;
-      }
-      break;
-    }
-    case PredOp::kLe:
-      out.lo = 0;
-      out.hi = col.UpperBoundCode(pred.literal) - 1;
-      break;
-    case PredOp::kLt:
-      out.lo = 0;
-      out.hi = col.LowerBoundCode(pred.literal) - 1;
-      break;
-    case PredOp::kGe:
-      out.lo = col.LowerBoundCode(pred.literal);
-      out.hi = max_code;
-      break;
-    case PredOp::kGt:
-      out.lo = col.UpperBoundCode(pred.literal);
-      out.hi = max_code;
-      break;
-    case PredOp::kIn: {
-      out.use_set = true;
-      for (const auto& v : pred.in_list) {
-        const int32_t c = col.CodeOf(v);
-        if (c >= 0) out.code_set.push_back(c);
-      }
-      std::sort(out.code_set.begin(), out.code_set.end());
-      out.code_set.erase(std::unique(out.code_set.begin(), out.code_set.end()),
-                         out.code_set.end());
-      break;
-    }
-  }
-  return out;
-}
 
 Result<std::unique_ptr<Executor>> Executor::Create(const Database* db) {
   auto exec = std::unique_ptr<Executor>(new Executor(db));
@@ -75,110 +21,173 @@ Status Executor::Init() {
   SAM_ASSIGN_OR_RETURN(graph_, db_->BuildJoinGraph());
   for (const auto& e : graph_.edges()) {
     const Table* child = db_->FindTable(e.child);
+    if (child == nullptr) {
+      return Status::NotFound("join edge child table '" + e.child + "'");
+    }
     const Column* fk = child->FindColumn(e.child_column);
+    if (fk == nullptr) {
+      return Status::NotFound("FK column '" + e.child + "." + e.child_column +
+                              "'");
+    }
+    const Table* parent = db_->FindTable(e.parent);
+    if (parent == nullptr) {
+      return Status::NotFound("join edge parent table '" + e.parent + "'");
+    }
+    const Column* pk = parent->FindColumn(e.parent_column);
+    if (pk == nullptr) {
+      return Status::NotFound("PK column '" + e.parent + "." + e.parent_column +
+                              "'");
+    }
+
+    // Decode both join columns exactly once: the hash row index feeds the FOJ
+    // materialiser, the dense slot arrays feed every cardinality evaluation.
     FkIndex index;
     index.rows_by_key.reserve(fk->dict_size());
+    EdgeArrays arrays;
+    arrays.child_slots.resize(fk->num_rows());
+    std::unordered_map<int64_t, int32_t> slot_of;
+    slot_of.reserve(fk->dict_size());
     for (size_t r = 0; r < fk->num_rows(); ++r) {
       const Value v = fk->ValueAt(r);
-      if (v.is_null()) continue;
-      index.rows_by_key[v.AsInt()].push_back(static_cast<uint32_t>(r));
+      if (v.is_null()) {
+        arrays.child_slots[r] = -1;
+        continue;
+      }
+      const int64_t key = v.AsInt();
+      index.rows_by_key[key].push_back(static_cast<uint32_t>(r));
+      const auto [it, inserted] =
+          slot_of.try_emplace(key, static_cast<int32_t>(slot_of.size()));
+      arrays.child_slots[r] = it->second;
+    }
+    arrays.num_slots = slot_of.size();
+    arrays.parent_slots.resize(pk->num_rows());
+    for (size_t r = 0; r < pk->num_rows(); ++r) {
+      const Value v = pk->ValueAt(r);
+      if (v.is_null()) {
+        arrays.parent_slots[r] = -1;
+        continue;
+      }
+      const auto it = slot_of.find(v.AsInt());
+      arrays.parent_slots[r] = it == slot_of.end() ? -1 : it->second;
     }
     fk_indexes_.emplace(e.parent + "->" + e.child, std::move(index));
+    edge_arrays_.emplace(e.child, std::move(arrays));
   }
   return Status::OK();
 }
 
-Result<std::vector<char>> Executor::EvalPredicates(const Query& q,
-                                                   const Table& table) const {
-  std::vector<char> sat(table.num_rows(), 1);
-  for (const Predicate* p : q.PredicatesOn(table.name())) {
-    SAM_ASSIGN_OR_RETURN(CodePredicate cp, CompilePredicate(table, *p));
-    const std::vector<int32_t>& codes = table.column(cp.column_index).codes();
-    for (size_t r = 0; r < codes.size(); ++r) {
-      if (sat[r] && !cp.Matches(codes[r])) sat[r] = 0;
-    }
-  }
-  return sat;
-}
-
-Result<std::vector<double>> Executor::SubtreeWeights(
-    const std::string& table, const std::vector<std::string>& rels,
-    const std::unordered_map<std::string, std::vector<char>>& sat,
-    bool outer) const {
+Status Executor::SubtreeWeights(const std::string& table,
+                                const std::vector<std::string>& rels,
+                                bool outer,
+                                engine::EvalScratch* scratch) const {
   const Table* t = db_->FindTable(table);
   if (t == nullptr) return Status::NotFound("table '" + table + "'");
-  std::vector<double> w(t->num_rows(), 1.0);
-  auto sat_it = sat.find(table);
-  if (sat_it != sat.end()) {
-    for (size_t r = 0; r < w.size(); ++r) w[r] = sat_it->second[r] ? 1.0 : 0.0;
+  // References into scratch maps stay valid across the recursion: the maps
+  // are node-based, so rehashing never moves the vectors.
+  std::vector<double>& w = scratch->weights[table];
+  const auto sat_it = scratch->sat.find(table);
+  if (sat_it != scratch->sat.end()) {
+    const char* sat = sat_it->second.data();
+    w.resize(t->num_rows());
+    for (size_t r = 0; r < w.size(); ++r) w[r] = sat[r] ? 1.0 : 0.0;
+  } else {
+    w.assign(t->num_rows(), 1.0);
   }
   for (const auto& child : graph_.Children(table)) {
     const bool child_in_query =
         std::find(rels.begin(), rels.end(), child) != rels.end();
     if (!child_in_query && !outer) continue;
-    if (!child_in_query && outer) {
-      // FOJ still multiplies by the child's expansion even without predicates.
-    }
-    SAM_ASSIGN_OR_RETURN(std::vector<double> wc,
-                         SubtreeWeights(child, rels, sat, outer));
-    // Aggregate child weights per FK value.
-    const Table* ct = db_->FindTable(child);
-    const JoinGraph::Edge* edge = graph_.ParentEdge(child);
-    const Column* fk_col = ct->FindColumn(edge->child_column);
-    std::unordered_map<int64_t, double> agg;
-    agg.reserve(fk_col->dict_size());
+    // An FOJ still multiplies by the child's expansion even without
+    // predicates, so `outer` traverses children outside `rels` too.
+    SAM_RETURN_NOT_OK(SubtreeWeights(child, rels, outer, scratch));
+    const std::vector<double>& wc = scratch->weights[child];
+    const EdgeArrays& edge = edge_arrays_.at(child);
+    // Aggregate child weights per dense key slot (tight loops over the
+    // pre-decoded arrays; same accumulation order as the rows).
+    std::vector<double>& agg = scratch->agg[child];
+    agg.assign(edge.num_slots, 0.0);
+    const int32_t* child_slots = edge.child_slots.data();
     for (size_t r = 0; r < wc.size(); ++r) {
       if (wc[r] == 0.0) continue;
-      agg[fk_col->ValueAt(r).AsInt()] += wc[r];
+      if (child_slots[r] >= 0) agg[child_slots[r]] += wc[r];
     }
-    const Column* pk_col = t->FindColumn(edge->parent_column);
+    const int32_t* parent_slots = edge.parent_slots.data();
     for (size_t r = 0; r < w.size(); ++r) {
       if (w[r] == 0.0) continue;
-      auto it = agg.find(pk_col->ValueAt(r).AsInt());
-      double s = (it == agg.end()) ? 0.0 : it->second;
+      const int32_t slot = parent_slots[r];
+      double s = slot < 0 ? 0.0 : agg[slot];
       if (outer && s == 0.0) s = 1.0;  // Null-extended row survives in the FOJ.
       w[r] *= s;
     }
   }
-  return w;
+  return Status::OK();
 }
 
-Result<int64_t> Executor::Cardinality(const Query& q) const {
-  if (q.relations.empty()) return Status::InvalidArgument("query with no relations");
-  std::unordered_map<std::string, std::vector<char>> sat;
-  for (const auto& rel : q.relations) {
-    const Table* t = db_->FindTable(rel);
-    if (t == nullptr) return Status::NotFound("table '" + rel + "'");
-    SAM_ASSIGN_OR_RETURN(sat[rel], EvalPredicates(q, *t));
+Result<int64_t> Executor::Cardinality(const engine::CompiledQuery& cq,
+                                      engine::EvalScratch* scratch) const {
+  for (const engine::RelationPlan& plan : cq.plans()) {
+    plan.EvalPredicates(&scratch->sat[plan.name]);
   }
-  // Locate the top relation: the unique one whose parent is outside the
-  // query; all other relations' parents must be inside (connected subtree).
-  std::string top;
-  for (const auto& rel : q.relations) {
-    const std::string parent = graph_.Parent(rel);
-    const bool parent_in =
-        std::find(q.relations.begin(), q.relations.end(), parent) !=
-        q.relations.end();
-    if (parent.empty() || !parent_in) {
-      if (!top.empty()) {
-        return Status::InvalidArgument(
-            "query relations do not form a connected subtree: both '" + top +
-            "' and '" + rel + "' lack an in-query parent");
-      }
-      top = rel;
-    }
-  }
-  SAM_ASSIGN_OR_RETURN(std::vector<double> w,
-                       SubtreeWeights(top, q.relations, sat, /*outer=*/false));
+  SAM_RETURN_NOT_OK(SubtreeWeights(cq.top(), cq.relations(), /*outer=*/false,
+                                   scratch));
+  const std::vector<double>& w = scratch->weights.at(cq.top());
   double total = 0.0;
   for (double v : w) total += v;
   return static_cast<int64_t>(std::llround(total));
 }
 
+Result<int64_t> Executor::Cardinality(const Query& q) const {
+  SAM_ASSIGN_OR_RETURN(engine::CompiledQuery cq,
+                       engine::CompiledQuery::Compile(*db_, graph_, q));
+  engine::EvalScratch scratch;
+  return Cardinality(cq, &scratch);
+}
+
+Result<std::vector<int64_t>> Executor::ParallelCardinality(
+    const Workload& workload, size_t num_threads) const {
+  std::vector<int64_t> out(workload.size(), 0);
+  if (workload.empty()) return out;
+
+  auto eval_range = [&](size_t begin, size_t end) -> Status {
+    engine::EvalScratch scratch;
+    for (size_t i = begin; i < end; ++i) {
+      SAM_ASSIGN_OR_RETURN(
+          engine::CompiledQuery cq,
+          engine::CompiledQuery::Compile(*db_, graph_, workload[i]));
+      SAM_ASSIGN_OR_RETURN(out[i], Cardinality(cq, &scratch));
+    }
+    return Status::OK();
+  };
+
+  ThreadPool pool(num_threads);
+  const size_t shards = std::min(workload.size(), pool.num_threads());
+  if (shards <= 1) {
+    SAM_RETURN_NOT_OK(eval_range(0, workload.size()));
+    return out;
+  }
+
+  // Contiguous static shards: each worker owns one scratch and one slice of
+  // the output, so no synchronisation is needed beyond the joins.
+  std::vector<Status> shard_status(shards, Status::OK());
+  std::vector<std::future<void>> futs;
+  futs.reserve(shards);
+  for (size_t s = 0; s < shards; ++s) {
+    const size_t begin = workload.size() * s / shards;
+    const size_t end = workload.size() * (s + 1) / shards;
+    futs.push_back(pool.Submit(
+        [&, s, begin, end] { shard_status[s] = eval_range(begin, end); }));
+  }
+  for (auto& f : futs) f.get();
+  for (const Status& st : shard_status) {
+    SAM_RETURN_NOT_OK(st);
+  }
+  return out;
+}
+
 Result<double> Executor::MeasureLatencySeconds(const Query& q) const {
-  // The same pipeline as Cardinality: per-query hash build + probe, which is
-  // the work a row-store DBMS performs for these COUNT(*) queries. Timing the
-  // whole call includes predicate compilation, as a planner would.
+  // The same pipeline as Cardinality: per-query plan compilation + probe,
+  // which is the work a row-store DBMS performs for these COUNT(*) queries.
+  // Timing the whole call includes predicate compilation, as a planner would.
   Stopwatch watch;
   SAM_ASSIGN_OR_RETURN(int64_t card, Cardinality(q));
   (void)card;
@@ -188,11 +197,12 @@ Result<double> Executor::MeasureLatencySeconds(const Query& q) const {
 int64_t Executor::FullOuterJoinSize() const {
   const std::vector<std::string> roots = graph_.Roots();
   double total = 0.0;
-  std::unordered_map<std::string, std::vector<char>> no_preds;
+  engine::EvalScratch scratch;  // No sat entries: every relation unfiltered.
   for (const auto& root : roots) {
-    auto w = SubtreeWeights(root, graph_.Subtree(root), no_preds, /*outer=*/true);
-    SAM_CHECK(w.ok()) << w.status().ToString();
-    for (double v : w.ValueOrDie()) total += v;
+    const Status st =
+        SubtreeWeights(root, graph_.Subtree(root), /*outer=*/true, &scratch);
+    SAM_CHECK(st.ok()) << st.ToString();
+    for (double v : scratch.weights.at(root)) total += v;
   }
   return static_cast<int64_t>(std::llround(total));
 }

@@ -6,28 +6,11 @@
 #include <vector>
 
 #include "common/result.h"
+#include "engine/compiled_query.h"
 #include "query/query.h"
 #include "storage/database.h"
 
 namespace sam {
-
-/// \brief Compiled form of a predicate against a concrete column: a code
-/// interval plus an optional code set (IN lists).
-///
-/// Dictionary order equals value order, so range predicates compile to code
-/// ranges and row evaluation is a pair of integer compares.
-struct CodePredicate {
-  size_t column_index = 0;
-  int32_t lo = 0;            ///< Inclusive lower code bound.
-  int32_t hi = 0;            ///< Inclusive upper code bound.
-  bool use_set = false;
-  std::vector<int32_t> code_set;  ///< Sorted codes, for kIn.
-
-  bool Matches(int32_t code) const;
-};
-
-/// \brief Compiles `pred` against `table`; fails for unknown columns.
-Result<CodePredicate> CompilePredicate(const Table& table, const Predicate& pred);
 
 /// \brief Cardinality and latency evaluation over a database.
 ///
@@ -36,18 +19,42 @@ Result<CodePredicate> CompilePredicate(const Table& table, const Predicate& pred
 ///  2. evaluate generated databases (Q-Error of constraints, §5.3/5.4),
 ///  3. emulate the paper's PostgreSQL latency experiment (§5.4, Tables 8/9)
 ///     with a fresh-build hash-join pipeline per query.
+///
+/// Construction decodes every FK/PK join column once into flat dense-slot
+/// arrays; query evaluation is then tight loops over dictionary codes and
+/// those arrays — no hash probes and no per-row Value materialisation. The
+/// batch API shards a whole workload across a thread pool; results are
+/// bit-identical to sequential evaluation for any thread count because each
+/// query's evaluation is independent and deterministic.
 class Executor {
  public:
-  /// Builds FK hash indexes for fast repeated cardinality evaluation.
+  /// Builds the join-edge indexes for fast repeated cardinality evaluation.
   /// The database must outlive the executor.
   static Result<std::unique_ptr<Executor>> Create(const Database* db);
 
   /// True cardinality of `q`. Multi-relation queries must form a connected
-  /// subtree of the join graph.
+  /// subtree of the join graph. Compiles `q` and evaluates with a local
+  /// scratch; for repeated evaluation prefer the compiled overload or
+  /// ParallelCardinality.
   Result<int64_t> Cardinality(const Query& q) const;
 
-  /// Executes `q` with per-query hash-join build (no precomputed indexes) and
-  /// returns wall-clock seconds; used for the performance-deviation metric.
+  /// True cardinality of a pre-compiled query using caller-owned buffers.
+  /// Thread-safe: concurrent calls must use distinct `scratch` objects.
+  Result<int64_t> Cardinality(const engine::CompiledQuery& cq,
+                              engine::EvalScratch* scratch) const;
+
+  /// \brief Cardinalities of a whole workload, sharded across a thread pool.
+  ///
+  /// `num_threads` = 0 uses hardware concurrency. Each shard compiles and
+  /// evaluates its queries with its own scratch buffers, so the result is
+  /// bit-identical to calling Cardinality(q) per query, for every thread
+  /// count. Fails with the first per-query error encountered.
+  Result<std::vector<int64_t>> ParallelCardinality(const Workload& workload,
+                                                   size_t num_threads = 0) const;
+
+  /// Executes `q` with per-query compilation (no cached plan, as a planner
+  /// would) and returns wall-clock seconds; used for the
+  /// performance-deviation metric.
   Result<double> MeasureLatencySeconds(const Query& q) const;
 
   /// Size of the full outer join of all relations (computed analytically,
@@ -68,26 +75,38 @@ class Executor {
   explicit Executor(const Database* db) : db_(db) {}
   Status Init();
 
-  /// Per-row satisfaction bitmap of the conjunction of `q`'s predicates on
-  /// `table`.
-  Result<std::vector<char>> EvalPredicates(const Query& q, const Table& table) const;
-
   /// Bottom-up per-row weights for the (sub)tree of relations in `rels`,
-  /// with `sat` giving per-table predicate bitmaps. When `outer` is true,
+  /// written to `scratch->weights[table]`. `scratch->sat` gives per-table
+  /// predicate bitmaps (absent = unfiltered). When `outer` is true,
   /// childless matches count as 1 (full outer join semantics); inner join
   /// otherwise.
-  Result<std::vector<double>> SubtreeWeights(
-      const std::string& table, const std::vector<std::string>& rels,
-      const std::unordered_map<std::string, std::vector<char>>& sat,
-      bool outer) const;
+  Status SubtreeWeights(const std::string& table,
+                        const std::vector<std::string>& rels, bool outer,
+                        engine::EvalScratch* scratch) const;
 
   const Database* db_;
   JoinGraph graph_;
+
   /// For each edge (keyed "parent->child"): child rows grouped by FK value.
+  /// Used by the FOJ materialiser, which needs the actual row lists.
   struct FkIndex {
     std::unordered_map<int64_t, std::vector<uint32_t>> rows_by_key;
   };
   std::unordered_map<std::string, FkIndex> fk_indexes_;
+
+  /// \brief Per-edge join columns decoded once into flat arrays (keyed by the
+  /// child relation; tree join graphs give every child exactly one parent).
+  ///
+  /// Key values are mapped to dense slots in child-row order, so query-time
+  /// aggregation is `agg[child_slots[r]] += w[r]` and the parent probe is
+  /// `agg[parent_slots[r]]` — no hashing on the hot path. Slot -1 marks a
+  /// NULL key (child side) or a key with no child occurrence (parent side).
+  struct EdgeArrays {
+    std::vector<int32_t> child_slots;   ///< Per child row.
+    std::vector<int32_t> parent_slots;  ///< Per parent row.
+    size_t num_slots = 0;
+  };
+  std::unordered_map<std::string, EdgeArrays> edge_arrays_;
 };
 
 }  // namespace sam

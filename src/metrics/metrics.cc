@@ -37,12 +37,15 @@ MetricSummary Summarize(std::vector<double> values) {
 
 Result<MetricSummary> QErrorOnDatabase(const Executor& generated_executor,
                                        const Workload& workload) {
+  // Batched evaluation: bit-identical to per-query Cardinality, sharded
+  // across the thread pool on multi-core machines.
+  SAM_ASSIGN_OR_RETURN(std::vector<int64_t> cards,
+                       generated_executor.ParallelCardinality(workload));
   std::vector<double> errors;
   errors.reserve(workload.size());
-  for (const auto& q : workload) {
-    SAM_ASSIGN_OR_RETURN(int64_t card, generated_executor.Cardinality(q));
-    errors.push_back(QError(static_cast<double>(card),
-                            static_cast<double>(q.cardinality)));
+  for (size_t i = 0; i < workload.size(); ++i) {
+    errors.push_back(QError(static_cast<double>(cards[i]),
+                            static_cast<double>(workload[i].cardinality)));
   }
   return Summarize(std::move(errors));
 }
@@ -115,6 +118,10 @@ Result<MetricSummary> PerformanceDeviationMs(const Executor& original_executor,
                                              const Executor& generated_executor,
                                              const Workload& workload,
                                              int repeats) {
+  if (repeats <= 0) {
+    return Status::InvalidArgument("PerformanceDeviationMs: repeats must be positive, got " +
+                                   std::to_string(repeats));
+  }
   std::vector<double> deviations;
   deviations.reserve(workload.size());
   for (const auto& q : workload) {

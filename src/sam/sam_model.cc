@@ -17,6 +17,11 @@ Result<std::unique_ptr<SamModel>> SamModel::Create(const Database& db,
                                                    const SamOptions& options) {
   SAM_ASSIGN_OR_RETURN(ModelSchema schema,
                        ModelSchema::Build(db, train, hints, foj_size));
+  if (!options.column_order.empty()) {
+    // Applied before the MADE model is constructed so its masks and the
+    // sampling order both follow the requested AR ordering.
+    SAM_RETURN_NOT_OK(schema.ReorderColumns(options.column_order));
+  }
   auto sam = std::unique_ptr<SamModel>(new SamModel(std::move(schema), options));
 
   // Record the physical layout of every relation (column names/types and key
@@ -89,9 +94,16 @@ SamModel::FojSample SamModel::SampleFoj(size_t k, Rng* rng) const {
           mc.kind != ModelColumnKind::kIndicator) {
         const auto it = indicator_col.find(mc.table);
         if (it != indicator_col.end()) {
-          const auto& ind = batch_indicators[mc.table];
-          for (size_t r = 0; r < batch; ++r) {
-            if (ind[r] == 0) codes[r] = 0;  // NULL token / fanout value 1.
+          // The relation's indicator may be ordered *after* this column, in
+          // which case it has not been sampled yet and no forcing applies
+          // (operator[] would otherwise materialise an empty vector and
+          // ind[r] would read out of bounds).
+          const auto bit = batch_indicators.find(mc.table);
+          if (bit != batch_indicators.end() && bit->second.size() == batch) {
+            const auto& ind = bit->second;
+            for (size_t r = 0; r < batch; ++r) {
+              if (ind[r] == 0) codes[r] = 0;  // NULL token / fanout value 1.
+            }
           }
         }
       }
@@ -109,21 +121,29 @@ SamModel::FojSample SamModel::SampleFoj(size_t k, Rng* rng) const {
     starts.push_back(start);
   }
 
+  // Sampling is embarrassingly parallel (§4.2): batches are independent, and
+  // every batch derives its RNG from the caller seed by batch index — in the
+  // sequential path too — so the sample is bit-identical for every
+  // sampler_threads value. The model is only read.
+  const uint64_t base_seed = rng->engine()();
+  auto batch_seed = [base_seed](size_t i) {
+    return base_seed ^ (0x9e3779b97f4a7c15ULL * (i + 1));
+  };
+
   if (options_.sampler_threads <= 1 || starts.size() <= 1) {
-    for (size_t start : starts) {
-      sample_batch(start, std::min(options_.generation_batch, k - start), rng);
+    for (size_t i = 0; i < starts.size(); ++i) {
+      const size_t start = starts[i];
+      Rng batch_rng(batch_seed(i));
+      sample_batch(start, std::min(options_.generation_batch, k - start),
+                   &batch_rng);
     }
     return out;
   }
 
-  // Sampling is embarrassingly parallel (§4.2): batches are independent, and
-  // each shard gets a deterministic RNG derived from the caller seed, so a
-  // fixed thread count reproduces exactly. The model is only read.
   ThreadPool pool(options_.sampler_threads);
-  const uint64_t base_seed = rng->engine()();
   pool.ParallelFor(starts.size(), [&](size_t i) {
     const size_t start = starts[i];
-    Rng shard_rng(base_seed ^ (0x9e3779b97f4a7c15ULL * (i + 1)));
+    Rng shard_rng(batch_seed(i));
     sample_batch(start, std::min(options_.generation_batch, k - start),
                  &shard_rng);
   });

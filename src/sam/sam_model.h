@@ -41,10 +41,18 @@ struct SamOptions {
   /// tuple of *unkeyed* leaf relations.
   double leftover_key_threshold = 0.5;
   /// Worker threads for FOJ sampling (Alg 1/2 are "embarrassingly parallel",
-  /// §4.2). Each shard derives its own deterministic RNG from
-  /// `generation_seed`, so results are reproducible for a fixed thread count.
+  /// §4.2). Every sample batch derives its RNG from `generation_seed` and
+  /// its batch index — in the sequential path too — so generation is
+  /// bit-identical for every thread count.
   size_t sampler_threads = 1;
   uint64_t generation_seed = 999;
+  /// Optional AR-ordering override: a permutation of the natural model-column
+  /// layout (entry i = natural index of the column sampled at position i).
+  /// Empty keeps ModelSchema::Build's topological order. An ordering knob for
+  /// AR-ordering experiments; orderings that place a relation's content or
+  /// fanout columns before its indicator disable NULL-consistency forcing for
+  /// those columns (the indicator is not yet sampled at forcing time).
+  std::vector<size_t> column_order;
 };
 
 /// \brief SAM: a supervised autoregressive database generator (the paper's

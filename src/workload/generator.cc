@@ -92,8 +92,14 @@ void AddFiltersFromRow(Rng* rng, const Table& table, size_t row, size_t n_filter
   AddFiltersFromRow(rng, table, row, n_filters, kNoCoverage, q);
 }
 
-Status LabelQuery(const Executor& executor, Query* q) {
-  SAM_ASSIGN_OR_RETURN(q->cardinality, executor.Cardinality(*q));
+/// Labels every query with its true cardinality in one batched pass. The
+/// labels never influence generation, so deferring them keeps the query
+/// stream identical to per-query labelling while letting the executor shard
+/// the workload across the thread pool.
+Status LabelWorkload(const Executor& executor, Workload* w) {
+  SAM_ASSIGN_OR_RETURN(std::vector<int64_t> cards,
+                       executor.ParallelCardinality(*w));
+  for (size_t i = 0; i < w->size(); ++i) (*w)[i].cardinality = cards[i];
   return Status::OK();
 }
 
@@ -128,9 +134,9 @@ Result<Workload> GenerateSingleRelationWorkload(
         rng.UniformInt(0, static_cast<int64_t>(table->num_rows()) - 1));
     AddFiltersFromRow(&rng, *table, row, n_filters, coverage, &q);
     if (q.predicates.empty()) continue;
-    SAM_RETURN_NOT_OK(LabelQuery(executor, &q));
     out.push_back(std::move(q));
   }
+  SAM_RETURN_NOT_OK(LabelWorkload(executor, &out));
   return out;
 }
 
@@ -176,9 +182,9 @@ Result<Workload> GenerateMultiRelationWorkload(
       AddFiltersFromRow(&rng, *t, row, n_filters, &q);
     }
     if (q.predicates.empty() && q.relations.size() == 1) continue;
-    SAM_RETURN_NOT_OK(LabelQuery(executor, &q));
     out.push_back(std::move(q));
   }
+  SAM_RETURN_NOT_OK(LabelWorkload(executor, &out));
   return out;
 }
 
@@ -217,9 +223,9 @@ Result<Workload> GenerateJobLightWorkload(const Database& db,
       AddFiltersFromRow(&rng, *t, row, 1, &q);
     }
     if (q.predicates.empty()) continue;
-    SAM_RETURN_NOT_OK(LabelQuery(executor, &q));
     out.push_back(std::move(q));
   }
+  SAM_RETURN_NOT_OK(LabelWorkload(executor, &out));
   return out;
 }
 

@@ -1,0 +1,104 @@
+// ThreadPool correctness, in particular exception safety of ParallelFor: a
+// throwing shard must not unwind past the call while sibling shards still
+// reference the call's stack frame (the shared index and function objects).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace sam {
+namespace {
+
+TEST(ThreadPoolTest, ParallelForVisitsEveryIndexOnce) {
+  ThreadPool pool(4);
+  constexpr size_t kN = 10000;
+  std::vector<std::atomic<int>> visits(kN);
+  pool.ParallelFor(kN, [&](size_t i) { visits[i].fetch_add(1); });
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(visits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForZeroIsANoop) {
+  ThreadPool pool(2);
+  pool.ParallelFor(0, [](size_t) { FAIL() << "fn called for n == 0"; });
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesTheException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.ParallelFor(100,
+                       [](size_t i) {
+                         if (i == 17) throw std::runtime_error("boom");
+                       }),
+      std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ParallelForJoinsAllShardsBeforeRethrowing) {
+  // Regression: the first faulting future used to rethrow while other shards
+  // were still executing, so they touched the unwound frame's `next`/`fn`
+  // (use-after-scope). All shards must be done the moment the call exits.
+  ThreadPool pool(4);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<int> running{0};
+    std::atomic<int> peak_after_throw{0};
+    std::atomic<bool> thrown{false};
+    try {
+      pool.ParallelFor(256, [&](size_t i) {
+        running.fetch_add(1);
+        if (i == 0) {
+          thrown.store(true);
+          running.fetch_sub(1);
+          throw std::runtime_error("boom");
+        }
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+        if (thrown.load()) {
+          peak_after_throw.store(
+              std::max(peak_after_throw.load(), running.load()));
+        }
+        running.fetch_sub(1);
+      });
+      FAIL() << "expected the exception to propagate";
+    } catch (const std::runtime_error&) {
+      // The contract under test: by the time ParallelFor exits, every shard
+      // has finished, so nothing still references the lambda's captures.
+      EXPECT_EQ(running.load(), 0) << "shards still running after unwind";
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForStopsSchedulingAfterFailure) {
+  // Indices past the failure point may still run (shards race), but the pool
+  // must not insist on draining all of them once a shard failed.
+  ThreadPool pool(2);
+  std::atomic<size_t> executed{0};
+  try {
+    pool.ParallelFor(1u << 20, [&](size_t) {
+      executed.fetch_add(1);
+      throw std::runtime_error("boom");
+    });
+    FAIL() << "expected the exception to propagate";
+  } catch (const std::runtime_error&) {
+  }
+  EXPECT_LT(executed.load(), 1u << 20) << "pool drained every index anyway";
+}
+
+TEST(ThreadPoolTest, SubmitRunsTasksAndReturnsUsableFutures) {
+  ThreadPool pool(3);
+  std::atomic<int> sum{0};
+  std::vector<std::future<void>> futs;
+  for (int i = 1; i <= 10; ++i) {
+    futs.push_back(pool.Submit([&sum, i] { sum.fetch_add(i); }));
+  }
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(sum.load(), 55);
+}
+
+}  // namespace
+}  // namespace sam

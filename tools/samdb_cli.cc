@@ -5,6 +5,7 @@
 //   workload  Generate a labelled query workload against a saved database.
 //   train     Train a SAM model from a database's *metadata* + a workload.
 //   generate  Generate a synthetic database from a trained model.
+//   label     Re-label a workload with true cardinalities from a database.
 //   evaluate  Compare a generated database against the original on a workload.
 //   estimate  Print progressive-sampling cardinality estimates for a workload.
 //
@@ -254,6 +255,35 @@ Result<PipelineInputs> LoadPipelineInputs(const Flags& flags) {
   return in;
 }
 
+/// Re-labels an existing workload file with true cardinalities computed
+/// against a database, using the batched executor API.
+int CmdLabel(const Flags& flags) {
+  const std::string db_dir = flags.Get("db");
+  const std::string wl_path = flags.Get("workload");
+  const std::string out = flags.Get("out");
+  if (db_dir.empty() || wl_path.empty() || out.empty()) {
+    return Fail("label: --db=DIR, --workload=FILE and --out=FILE are required");
+  }
+  auto db = LoadDatabase(db_dir);
+  if (!db.ok()) return FailStatus(db.status());
+  auto exec = Executor::Create(&db.ValueOrDie());
+  if (!exec.ok()) return FailStatus(exec.status());
+  auto workload = LoadWorkload(wl_path);
+  if (!workload.ok()) return FailStatus(workload.status());
+  const size_t threads = static_cast<size_t>(flags.GetInt("threads", 0));
+  auto cards = exec.ValueOrDie()->ParallelCardinality(workload.ValueOrDie(),
+                                                      threads);
+  if (!cards.ok()) return FailStatus(cards.status());
+  for (size_t i = 0; i < workload.ValueOrDie().size(); ++i) {
+    workload.ValueOrDie()[i].cardinality = cards.ValueOrDie()[i];
+  }
+  const Status st = SaveWorkload(workload.ValueOrDie(), out);
+  if (!st.ok()) return FailStatus(st);
+  std::printf("labelled %zu queries -> %s\n", workload.ValueOrDie().size(),
+              out.c_str());
+  return 0;
+}
+
 int CmdTrain(const Flags& flags) {
   auto inputs = LoadPipelineInputs(flags);
   if (!inputs.ok()) return FailStatus(inputs.status());
@@ -400,6 +430,7 @@ int Usage() {
       "commands:\n"
       "  dataset   --kind=census|dmv|imdb|figure3|chain --rows=N --seed=S --out=DIR\n"
       "  workload  --db=DIR --queries=N [--table=T|--joblight] [--coverage=R] --out=FILE\n"
+      "  label     --db=DIR --workload=FILE [--threads=N] --out=FILE\n"
       "  train     --db=DIR --workload=FILE --hints=census|dmv|imdb|none\n"
       "            [--numeric=t.c:min:max,...] [--epochs --batch --lr --paths\n"
       "             --hidden --time-budget] --model-out=FILE\n"
@@ -416,6 +447,7 @@ int Main(int argc, char** argv) {
   const Flags flags(argc, argv, 2);
   if (cmd == "dataset") return CmdDataset(flags);
   if (cmd == "workload") return CmdWorkload(flags);
+  if (cmd == "label") return CmdLabel(flags);
   if (cmd == "train") return CmdTrain(flags);
   if (cmd == "generate") return CmdGenerate(flags);
   if (cmd == "evaluate") return CmdEvaluate(flags);
