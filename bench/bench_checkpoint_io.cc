@@ -1,0 +1,109 @@
+// Micro benchmarks (google-benchmark) for the fault-tolerance layer:
+// checkpoint write/load throughput across snapshot sizes, the CRC32 core,
+// and atomic file commits. Guards the per-epoch checkpoint overhead — the
+// write path sits inside the training loop, so a regression here slows
+// every checkpointed run.
+
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "ar/training_checkpoint.h"
+#include "common/random.h"
+#include "linalg/matrix.h"
+#include "storage/artifact_io.h"
+
+namespace sam {
+namespace {
+
+std::string BenchDir() {
+  static const std::string dir = [] {
+    const auto d = std::filesystem::temp_directory_path() / "sam_bench_ckpt";
+    std::filesystem::remove_all(d);
+    std::filesystem::create_directories(d);
+    return d.string();
+  }();
+  return dir;
+}
+
+/// A synthetic checkpoint whose parameter payload totals roughly
+/// `param_doubles` doubles — the knob that dominates snapshot size.
+TrainingCheckpoint MakeCheckpoint(size_t param_doubles) {
+  TrainingCheckpoint c;
+  c.fingerprint = 0xfeedface;
+  c.epoch = 7;
+  c.step_start = 128;
+  c.in_epoch = true;
+  c.seconds_elapsed = 321.5;
+  c.rng_state = Rng(42).SaveState();
+  c.order.resize(2000);
+  for (size_t i = 0; i < c.order.size(); ++i) c.order[i] = i;
+  const size_t rows = 64;
+  const size_t cols = std::max<size_t>(1, param_doubles / (3 * rows));
+  Rng rng(9);
+  for (int t = 0; t < 3; ++t) {
+    Matrix m(rows, cols);
+    for (size_t i = 0; i < m.size(); ++i) m.data()[i] = rng.Uniform();
+    c.params.push_back(m);
+    c.adam_m.push_back(m);
+    c.adam_v.push_back(m);
+  }
+  c.adam_step_count = 999;
+  c.adam_lr = 1e-3;
+  return c;
+}
+
+void BM_CheckpointSave(benchmark::State& state) {
+  const TrainingCheckpoint c = MakeCheckpoint(static_cast<size_t>(state.range(0)));
+  const std::string path = BenchDir() + "/save.ckpt";
+  size_t bytes = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c.Save(path));
+    bytes = std::filesystem::file_size(path);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(bytes) * state.iterations());
+}
+BENCHMARK(BM_CheckpointSave)->Arg(10'000)->Arg(100'000)->Arg(1'000'000);
+
+void BM_CheckpointLoad(benchmark::State& state) {
+  const TrainingCheckpoint c = MakeCheckpoint(static_cast<size_t>(state.range(0)));
+  const std::string path = BenchDir() + "/load.ckpt";
+  if (!c.Save(path).ok()) {
+    state.SkipWithError("checkpoint save failed");
+    return;
+  }
+  const size_t bytes = std::filesystem::file_size(path);
+  for (auto _ : state) {
+    auto loaded = TrainingCheckpoint::Load(path);
+    benchmark::DoNotOptimize(loaded);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(bytes) * state.iterations());
+}
+BENCHMARK(BM_CheckpointLoad)->Arg(10'000)->Arg(100'000)->Arg(1'000'000);
+
+void BM_Crc32(benchmark::State& state) {
+  const std::string data(static_cast<size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Crc32(data.data(), data.size()));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(data.size()) * state.iterations());
+}
+BENCHMARK(BM_Crc32)->Arg(4 << 10)->Arg(1 << 20)->Arg(16 << 20);
+
+void BM_AtomicWriteFile(benchmark::State& state) {
+  const std::string contents(static_cast<size_t>(state.range(0)), 'y');
+  const std::string path = BenchDir() + "/atomic.bin";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(AtomicWriteFile(path, contents));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(contents.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_AtomicWriteFile)->Arg(64 << 10)->Arg(4 << 20);
+
+}  // namespace
+}  // namespace sam
+
+BENCHMARK_MAIN();

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
+#include <filesystem>
 
+#include "ar/training_checkpoint.h"
 #include "autodiff/adam.h"
 #include "autodiff/ops.h"
 #include "common/logging.h"
@@ -61,12 +64,122 @@ ColumnMasks BuildColumnMasks(const std::vector<const CompiledQuery*>& queries,
   return out;
 }
 
+/// FNV-1a accumulator used for the training-configuration fingerprint.
+class Fnv1a {
+ public:
+  void Add(uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h_ ^= (v >> (8 * i)) & 0xffu;
+      h_ *= 1099511628211ull;
+    }
+  }
+  void AddDouble(double d) {
+    uint64_t bits;
+    std::memcpy(&bits, &d, sizeof(bits));
+    Add(bits);
+  }
+  uint64_t hash() const { return h_; }
+
+ private:
+  uint64_t h_ = 1469598103934665603ull;
+};
+
 }  // namespace
+
+Status ValidateDpsOptions(const DpsOptions& o) {
+  if (o.epochs == 0) {
+    return Status::InvalidArgument("DpsOptions.epochs must be > 0");
+  }
+  if (o.batch_size == 0) {
+    return Status::InvalidArgument("DpsOptions.batch_size must be > 0");
+  }
+  if (o.sample_paths == 0) {
+    return Status::InvalidArgument("DpsOptions.sample_paths must be > 0");
+  }
+  if (!std::isfinite(o.learning_rate)) {
+    return Status::InvalidArgument("DpsOptions.learning_rate must be finite");
+  }
+  if (!std::isfinite(o.lr_decay) || o.lr_decay <= 0) {
+    return Status::InvalidArgument(
+        "DpsOptions.lr_decay must be finite and > 0");
+  }
+  if (!std::isfinite(o.gumbel_tau) || o.gumbel_tau <= 0) {
+    return Status::InvalidArgument(
+        "DpsOptions.gumbel_tau must be finite and > 0");
+  }
+  if (!std::isfinite(o.gumbel_tau_final) || o.gumbel_tau_final < 0) {
+    return Status::InvalidArgument(
+        "DpsOptions.gumbel_tau_final must be finite and >= 0");
+  }
+  if (!std::isfinite(o.clip_norm) || o.clip_norm < 0) {
+    return Status::InvalidArgument(
+        "DpsOptions.clip_norm must be finite and >= 0");
+  }
+  if (!std::isfinite(o.time_budget_seconds) || o.time_budget_seconds < 0) {
+    return Status::InvalidArgument(
+        "DpsOptions.time_budget_seconds must be finite and >= 0");
+  }
+  if (!o.checkpoint_dir.empty() && o.checkpoint_every_epochs == 0) {
+    return Status::InvalidArgument(
+        "DpsOptions.checkpoint_every_epochs must be > 0 when checkpointing");
+  }
+  if (o.resume && o.checkpoint_dir.empty()) {
+    return Status::InvalidArgument(
+        "DpsOptions.resume requires a checkpoint_dir");
+  }
+  return Status::OK();
+}
+
+uint64_t TrainingFingerprint(const DpsOptions& options, const MadeModel& model,
+                             const Workload& train) {
+  Fnv1a h;
+  // Training options that shape the arithmetic. The checkpointing knobs
+  // (dir/cadence/retention/resume) only decide *when* snapshots are written,
+  // never what is computed, so they are deliberately excluded.
+  h.Add(options.epochs);
+  h.Add(options.batch_size);
+  h.Add(options.sample_paths);
+  h.AddDouble(options.learning_rate);
+  h.AddDouble(options.lr_decay);
+  h.AddDouble(options.gumbel_tau);
+  h.AddDouble(options.gumbel_tau_final);
+  h.AddDouble(options.clip_norm);
+  h.Add(options.seed);
+  h.AddDouble(options.time_budget_seconds);
+  // Model architecture.
+  const MadeModel::Options& mo = model.options();
+  h.Add(mo.hidden_sizes.size());
+  for (size_t hs : mo.hidden_sizes) h.Add(hs);
+  h.Add(mo.residual ? 1 : 0);
+  h.Add(mo.direct_connections ? 1 : 0);
+  h.AddDouble(mo.init_scale);
+  h.Add(mo.seed);
+  // Schema layout (column order matters: it defines the AR factorisation).
+  const ModelSchema& schema = model.schema();
+  h.Add(schema.num_columns());
+  h.Add(schema.total_domain());
+  h.Add(static_cast<uint64_t>(schema.foj_size()));
+  for (const auto& c : schema.columns()) {
+    h.Add(c.domain_size);
+    h.Add(c.offset);
+    h.Add(static_cast<uint64_t>(c.kind));
+  }
+  // Training workload (labels + shape; the predicates themselves are pinned
+  // by the schema's compiled domains).
+  h.Add(train.size());
+  for (const auto& q : train) {
+    h.Add(static_cast<uint64_t>(q.cardinality));
+    h.Add(q.relations.size());
+    h.Add(q.predicates.size());
+  }
+  return h.hash();
+}
 
 Result<std::vector<DpsEpochStats>> TrainDps(MadeModel* model,
                                             const Workload& train,
                                             const DpsOptions& options,
                                             const DpsCallback& callback) {
+  SAM_RETURN_NOT_OK(ValidateDpsOptions(options));
   if (train.empty()) return Status::InvalidArgument("empty training workload");
   const ModelSchema& schema = model->schema();
   const size_t n_cols = schema.num_columns();
@@ -91,10 +204,139 @@ Result<std::vector<DpsEpochStats>> TrainDps(MadeModel* model,
   std::vector<size_t> order(train.size());
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;
 
+  // ---- Checkpoint/restore ---------------------------------------------------
+  const bool checkpointing = !options.checkpoint_dir.empty();
+  const uint64_t fingerprint =
+      checkpointing ? TrainingFingerprint(options, *model, train) : 0;
+  if (checkpointing) {
+    std::error_code ec;
+    std::filesystem::create_directories(options.checkpoint_dir, ec);
+    if (ec) {
+      return Status::IOError("cannot create checkpoint dir '" +
+                             options.checkpoint_dir + "': " + ec.message());
+    }
+  }
+
   std::vector<DpsEpochStats> stats;
+  size_t start_epoch = 0;
+  size_t resume_step = 0;
+  bool resume_in_epoch = false;
+  double resumed_seconds = 0;
+  // Loss accumulators of the epoch in flight; restored from mid-epoch
+  // checkpoints so a resumed epoch reports the same mean loss.
+  double epoch_loss_sum = 0;
+  size_t epoch_loss_count = 0;
+  size_t epoch_processed = 0;
+
+  if (options.resume) {
+    std::string loaded_from;
+    Result<TrainingCheckpoint> loaded =
+        LoadLatestValidCheckpoint(options.checkpoint_dir, &loaded_from);
+    if (!loaded.ok() && loaded.status().code() == StatusCode::kNotFound) {
+      // Empty directory: a fresh run that will start checkpointing.
+    } else if (!loaded.ok()) {
+      return loaded.status();
+    } else {
+      TrainingCheckpoint& c = loaded.ValueOrDie();
+      if (c.fingerprint != fingerprint) {
+        return Status::InvalidArgument(
+            "checkpoint '" + loaded_from +
+            "' was written under different training options, model "
+            "architecture or workload; resuming would silently diverge");
+      }
+      auto params = model->params();
+      if (c.params.size() != params.size()) {
+        return Status::InvalidArgument("checkpoint '" + loaded_from + "' has " +
+                                       std::to_string(c.params.size()) +
+                                       " parameter tensors, model has " +
+                                       std::to_string(params.size()));
+      }
+      for (size_t i = 0; i < params.size(); ++i) {
+        if (c.params[i].rows() != params[i].rows() ||
+            c.params[i].cols() != params[i].cols()) {
+          return Status::InvalidArgument(
+              "checkpoint '" + loaded_from +
+              "' parameter shape mismatch at tensor " + std::to_string(i));
+        }
+      }
+      if (c.order.size() != train.size()) {
+        return Status::InvalidArgument(
+            "checkpoint '" + loaded_from + "' covers " +
+            std::to_string(c.order.size()) + " training queries, workload has " +
+            std::to_string(train.size()));
+      }
+      for (uint64_t v : c.order) {
+        if (v >= train.size()) {
+          return Status::InvalidArgument("checkpoint '" + loaded_from +
+                                         "' has an out-of-range example index");
+        }
+      }
+      for (size_t i = 0; i < params.size(); ++i) {
+        params[i].mutable_value() = std::move(c.params[i]);
+      }
+      SAM_RETURN_NOT_OK(adam.RestoreState(c.adam_step_count, std::move(c.adam_m),
+                                          std::move(c.adam_v)));
+      adam.set_lr(c.adam_lr);
+      SAM_RETURN_NOT_OK(rng.RestoreState(c.rng_state));
+      order.assign(c.order.begin(), c.order.end());
+      stats = std::move(c.stats);
+      start_epoch = c.epoch;
+      resume_step = c.step_start;
+      resume_in_epoch = c.in_epoch;
+      resumed_seconds = c.seconds_elapsed;
+      epoch_loss_sum = c.epoch_loss_sum;
+      epoch_loss_count = c.epoch_loss_count;
+      epoch_processed = c.epoch_processed;
+      SAM_LOG(Info) << "resumed training from " << loaded_from << " (epoch "
+                    << start_epoch << ", step " << resume_step << ")";
+    }
+  }
+
   Stopwatch budget_watch;
+  auto elapsed_seconds = [&]() {
+    return resumed_seconds + budget_watch.ElapsedSeconds();
+  };
+
+  auto write_checkpoint = [&](uint64_t epoch, uint64_t step,
+                              bool in_epoch) -> Status {
+    if (!checkpointing) return Status::OK();
+    TrainingCheckpoint c;
+    c.fingerprint = fingerprint;
+    c.epoch = epoch;
+    c.step_start = step;
+    c.in_epoch = in_epoch;
+    c.seconds_elapsed = elapsed_seconds();
+    c.epoch_loss_sum = epoch_loss_sum;
+    c.epoch_loss_count = epoch_loss_count;
+    c.epoch_processed = epoch_processed;
+    c.rng_state = rng.SaveState();
+    c.order.assign(order.begin(), order.end());
+    c.adam_step_count = adam.step_count();
+    c.adam_lr = adam.options().lr;
+    c.adam_m = adam.moments_m();
+    c.adam_v = adam.moments_v();
+    for (const auto& p : model->params()) c.params.push_back(p.value());
+    c.stats = stats;
+    SAM_RETURN_NOT_OK(c.Save(options.checkpoint_dir + "/" +
+                             CheckpointFileName(epoch, step)));
+    PruneCheckpoints(options.checkpoint_dir, options.checkpoint_keep);
+    return Status::OK();
+  };
+
+  if (start_epoch >= options.epochs && !resume_in_epoch) {
+    // The checkpoint covers a completed run: nothing left to train.
+    model->SyncSamplerWeights();
+    return stats;
+  }
+
   bool out_of_budget = false;
-  for (size_t epoch = 0; epoch < options.epochs && !out_of_budget; ++epoch) {
+  bool stop_requested = false;
+  for (size_t epoch = start_epoch;
+       epoch < options.epochs && !out_of_budget && !stop_requested; ++epoch) {
+    // A mid-epoch checkpoint already applied this epoch's start-of-epoch
+    // mutations (LR decay, shuffle, accumulator reset); re-applying them
+    // would diverge from the uninterrupted run.
+    const bool resumed_mid_epoch = epoch == start_epoch && resume_in_epoch;
     // Temperature annealing (geometric) and learning-rate decay.
     double tau = options.gumbel_tau;
     if (options.gumbel_tau_final > 0 && options.epochs > 1) {
@@ -103,18 +345,32 @@ Result<std::vector<DpsEpochStats>> TrainDps(MadeModel* model,
       tau = options.gumbel_tau *
             std::pow(options.gumbel_tau_final / options.gumbel_tau, t);
     }
-    if (epoch > 0 && options.lr_decay != 1.0) {
-      adam.set_lr(adam.options().lr * options.lr_decay);
+    if (!resumed_mid_epoch) {
+      if (epoch > 0 && options.lr_decay != 1.0) {
+        adam.set_lr(adam.options().lr * options.lr_decay);
+      }
+      rng.Shuffle(&order);
+      epoch_loss_sum = 0;
+      epoch_loss_count = 0;
+      epoch_processed = 0;
     }
-    rng.Shuffle(&order);
-    double loss_sum = 0;
-    size_t loss_count = 0;
-    size_t processed = 0;
-    for (size_t start = 0; start < order.size();
-         start += options.batch_size) {
+    for (size_t start = resumed_mid_epoch ? resume_step : 0;
+         start < order.size(); start += options.batch_size) {
+      if (options.step_hook) options.step_hook(epoch, start);
+      if (options.stop_flag != nullptr &&
+          options.stop_flag->load(std::memory_order_relaxed)) {
+        // Graceful stop: the previous step finished; snapshot the exact
+        // cursor so resume replays from here bit-identically.
+        stop_requested = true;
+        SAM_RETURN_NOT_OK(write_checkpoint(epoch, start, /*in_epoch=*/true));
+        SAM_LOG(Info) << "stop requested: checkpointed at epoch " << epoch
+                      << ", step " << start;
+        break;
+      }
       if (options.time_budget_seconds > 0 &&
-          budget_watch.ElapsedSeconds() > options.time_budget_seconds) {
+          elapsed_seconds() > options.time_budget_seconds) {
         out_of_budget = true;
+        SAM_RETURN_NOT_OK(write_checkpoint(epoch, start, /*in_epoch=*/true));
         break;
       }
       const size_t q_in_batch = std::min(options.batch_size, order.size() - start);
@@ -185,17 +441,26 @@ Result<std::vector<DpsEpochStats>> TrainDps(MadeModel* model,
       loss.Backward();
       adam.Step();
 
-      loss_sum += loss.value()(0, 0);
-      ++loss_count;
-      processed += q_in_batch;
+      epoch_loss_sum += loss.value()(0, 0);
+      ++epoch_loss_count;
+      epoch_processed += q_in_batch;
     }
+    if (stop_requested) break;
     DpsEpochStats es;
     es.epoch = epoch;
-    es.mean_loss = loss_count > 0 ? loss_sum / static_cast<double>(loss_count) : 0;
-    es.seconds_elapsed = budget_watch.ElapsedSeconds();
-    es.queries_processed = processed;
+    es.mean_loss = epoch_loss_count > 0
+                       ? epoch_loss_sum / static_cast<double>(epoch_loss_count)
+                       : 0;
+    es.seconds_elapsed = elapsed_seconds();
+    es.queries_processed = epoch_processed;
     if (callback) callback(es);
     stats.push_back(es);
+    if (out_of_budget) break;
+    const bool last_epoch = epoch + 1 >= options.epochs;
+    if (checkpointing &&
+        ((epoch + 1) % options.checkpoint_every_epochs == 0 || last_epoch)) {
+      SAM_RETURN_NOT_OK(write_checkpoint(epoch + 1, 0, /*in_epoch=*/false));
+    }
   }
   model->SyncSamplerWeights();
   return stats;

@@ -1,6 +1,8 @@
 #pragma once
 
+#include <atomic>
 #include <functional>
+#include <string>
 
 #include "ar/made.h"
 #include "ar/model_schema.h"
@@ -28,8 +30,34 @@ struct DpsOptions {
   uint64_t seed = 777;
   /// Optional wall-clock budget in seconds (0 = unlimited). Mirrors the
   /// paper's fixed-time-frame protocol (§5.1): training stops mid-epoch when
-  /// the budget is exhausted.
+  /// the budget is exhausted. Budget accounting survives checkpoint/resume.
   double time_budget_seconds = 0;
+
+  // --- Fault tolerance (docs/CHECKPOINTING.md) -------------------------------
+
+  /// When non-empty, training writes atomic, checksummed checkpoints into
+  /// this directory (created if missing) every `checkpoint_every_epochs`
+  /// epochs, on a stop request, on budget exhaustion, and at completion.
+  std::string checkpoint_dir;
+  size_t checkpoint_every_epochs = 1;
+  /// Retain this many newest checkpoints (0 = keep all). Keep at least 2 so
+  /// a corrupt newest file can fall back to its predecessor.
+  size_t checkpoint_keep = 2;
+  /// Resume from the newest valid checkpoint in `checkpoint_dir`. Resumed
+  /// training is bit-identical to an uninterrupted run with the same
+  /// options; a checkpoint from mismatched options/model/workload is
+  /// rejected with `InvalidArgument`.
+  bool resume = false;
+
+  /// Cooperative stop flag (e.g. set from a SIGINT handler). Polled at every
+  /// step boundary: the in-flight step finishes, a final checkpoint is
+  /// written (when checkpointing is on), and TrainDps returns normally with
+  /// the stats so far.
+  const std::atomic<bool>* stop_flag = nullptr;
+
+  /// Test/ops hook invoked before each step with (epoch, step_start).
+  /// Deterministic interruption points for the fault-injection harness.
+  std::function<void(size_t, size_t)> step_hook;
 };
 
 /// \brief Progress report per epoch.
@@ -52,9 +80,25 @@ using DpsCallback = std::function<void(const DpsEpochStats&)>;
 /// monotone-equivalent surrogate of the Q-Error objective in the paper.
 ///
 /// Returns per-epoch stats; the model's sampler weights are synced on return.
+///
+/// With `options.checkpoint_dir` set the run is restartable: a crash at any
+/// instant leaves either the previous valid checkpoint or a detectably
+/// corrupt file that resume skips, and a resumed run produces bit-identical
+/// final parameters to an uninterrupted one (tests/checkpoint_test.cc).
 Result<std::vector<DpsEpochStats>> TrainDps(MadeModel* model,
                                             const Workload& train,
                                             const DpsOptions& options,
                                             const DpsCallback& callback = {});
+
+/// Validates `options` (zero batch/epoch/path counts, non-finite rates or
+/// temperatures, negative budgets, inconsistent checkpoint settings).
+/// Called by TrainDps; exposed for front-ends that validate early.
+Status ValidateDpsOptions(const DpsOptions& options);
+
+/// Order-sensitive fingerprint of everything that shapes the training
+/// arithmetic: DPS options, model architecture + schema layout, and the
+/// training workload. Checkpoints embed it; resume requires equality.
+uint64_t TrainingFingerprint(const DpsOptions& options, const MadeModel& model,
+                             const Workload& train);
 
 }  // namespace sam

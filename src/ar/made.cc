@@ -2,10 +2,10 @@
 
 #include <cmath>
 #include <cstdio>
-#include <fstream>
 
 #include "autodiff/ops.h"
 #include "common/logging.h"
+#include "storage/artifact_io.h"
 
 namespace sam {
 
@@ -299,56 +299,52 @@ void MadeModel::Observe(SamplerState* state, size_t col,
 }
 
 namespace {
-constexpr uint32_t kMagic = 0x53414d31;  // "SAM1"
+// Artifact tag + payload version of the model weight file. Version 2 is the
+// checksummed artifact-container format; version 1 was a raw stream with no
+// length or integrity metadata.
+constexpr char kModelArtifactKind[] = "MADEMODL";
+constexpr uint32_t kModelArtifactVersion = 2;
 }
 
 Status MadeModel::Save(const std::string& path) const {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
-  auto write_u64 = [&](uint64_t v) {
-    out.write(reinterpret_cast<const char*>(&v), sizeof(v));
-  };
-  auto write_matrix = [&](const Matrix& m) {
-    write_u64(m.rows());
-    write_u64(m.cols());
-    out.write(reinterpret_cast<const char*>(m.data()),
-              static_cast<std::streamsize>(m.size() * sizeof(double)));
-  };
-  uint32_t magic = kMagic;
-  out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  ArtifactWriter w(kModelArtifactKind, kModelArtifactVersion);
   const auto ps = params();
-  write_u64(ps.size());
-  for (const auto& p : ps) write_matrix(p.value());
-  if (!out) return Status::IOError("write failed for '" + path + "'");
-  return Status::OK();
+  w.PutU64(ps.size());
+  for (const auto& p : ps) w.PutMatrix(p.value());
+  // Atomic temp+fsync+rename commit: a crash mid-save leaves any previous
+  // model file untouched, and the CRC makes later corruption detectable.
+  return w.Commit(path);
 }
 
 Status MadeModel::Load(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IOError("cannot open '" + path + "'");
-  uint32_t magic = 0;
-  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
-  if (magic != kMagic) return Status::InvalidArgument("bad model file magic");
-  auto read_u64 = [&]() {
-    uint64_t v = 0;
-    in.read(reinterpret_cast<char*>(&v), sizeof(v));
-    return v;
-  };
-  const uint64_t count = read_u64();
+  SAM_ASSIGN_OR_RETURN(ArtifactReader r,
+                       ArtifactReader::Open(path, kModelArtifactKind));
+  if (r.version() != kModelArtifactVersion) {
+    return Status::InvalidArgument("model file '" + path +
+                                   "' has unsupported version " +
+                                   std::to_string(r.version()));
+  }
+  SAM_ASSIGN_OR_RETURN(const uint64_t count, r.GetU64());
   auto ps = params();
   if (count != ps.size()) {
     return Status::InvalidArgument("model file parameter count mismatch");
   }
+  // Stage every tensor before touching the model, so a shape mismatch (or a
+  // truncated payload the bounds-checked reader rejects) leaves the current
+  // parameters fully intact instead of partially overwritten.
+  std::vector<Matrix> staged;
+  staged.reserve(ps.size());
   for (auto& p : ps) {
-    const uint64_t rows = read_u64();
-    const uint64_t cols = read_u64();
-    if (rows != p.value().rows() || cols != p.value().cols()) {
+    SAM_ASSIGN_OR_RETURN(Matrix m, r.GetMatrix());
+    if (m.rows() != p.value().rows() || m.cols() != p.value().cols()) {
       return Status::InvalidArgument("model file shape mismatch");
     }
-    in.read(reinterpret_cast<char*>(p.mutable_value().data()),
-            static_cast<std::streamsize>(rows * cols * sizeof(double)));
+    staged.push_back(std::move(m));
   }
-  if (!in) return Status::IOError("truncated model file '" + path + "'");
+  SAM_RETURN_NOT_OK(r.ExpectEnd());
+  for (size_t i = 0; i < ps.size(); ++i) {
+    ps[i].mutable_value() = std::move(staged[i]);
+  }
   sampler_synced_ = false;
   return Status::OK();
 }

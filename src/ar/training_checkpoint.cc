@@ -1,0 +1,181 @@
+#include "ar/training_checkpoint.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+
+#include "common/logging.h"
+#include "storage/artifact_io.h"
+
+namespace sam {
+
+namespace {
+
+constexpr char kCheckpointKind[] = "TRAINCKP";
+constexpr uint32_t kCheckpointVersion = 1;
+
+void PutMatrixVector(ArtifactWriter* w, const std::vector<Matrix>& ms) {
+  w->PutU64(ms.size());
+  for (const auto& m : ms) w->PutMatrix(m);
+}
+
+Result<std::vector<Matrix>> GetMatrixVector(ArtifactReader* r) {
+  SAM_ASSIGN_OR_RETURN(const uint64_t count, r->GetU64());
+  // Every matrix needs at least its 16-byte dimension header, so a corrupt
+  // count cannot trigger a pathological reserve.
+  if (count > r->remaining() / 16) {
+    return Status::OutOfRange("checkpoint matrix count " +
+                              std::to_string(count) + " overruns payload");
+  }
+  std::vector<Matrix> out;
+  out.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    SAM_ASSIGN_OR_RETURN(Matrix m, r->GetMatrix());
+    out.push_back(std::move(m));
+  }
+  return out;
+}
+
+}  // namespace
+
+Status TrainingCheckpoint::Save(const std::string& path) const {
+  ArtifactWriter w(kCheckpointKind, kCheckpointVersion);
+  w.PutU64(fingerprint);
+  w.PutU64(epoch);
+  w.PutU64(step_start);
+  w.PutBool(in_epoch);
+  w.PutDouble(seconds_elapsed);
+  w.PutDouble(epoch_loss_sum);
+  w.PutU64(epoch_loss_count);
+  w.PutU64(epoch_processed);
+  w.PutString(rng_state);
+  w.PutU64(order.size());
+  for (uint64_t v : order) w.PutU64(v);
+  w.PutI64(adam_step_count);
+  w.PutDouble(adam_lr);
+  PutMatrixVector(&w, adam_m);
+  PutMatrixVector(&w, adam_v);
+  PutMatrixVector(&w, params);
+  w.PutU64(stats.size());
+  for (const auto& s : stats) {
+    w.PutU64(s.epoch);
+    w.PutDouble(s.mean_loss);
+    w.PutDouble(s.seconds_elapsed);
+    w.PutU64(s.queries_processed);
+  }
+  return w.Commit(path);
+}
+
+Result<TrainingCheckpoint> TrainingCheckpoint::Load(const std::string& path) {
+  SAM_ASSIGN_OR_RETURN(ArtifactReader r,
+                       ArtifactReader::Open(path, kCheckpointKind));
+  if (r.version() != kCheckpointVersion) {
+    return Status::InvalidArgument("checkpoint '" + path +
+                                   "' has unsupported version " +
+                                   std::to_string(r.version()));
+  }
+  TrainingCheckpoint c;
+  SAM_ASSIGN_OR_RETURN(c.fingerprint, r.GetU64());
+  SAM_ASSIGN_OR_RETURN(c.epoch, r.GetU64());
+  SAM_ASSIGN_OR_RETURN(c.step_start, r.GetU64());
+  SAM_ASSIGN_OR_RETURN(c.in_epoch, r.GetBool());
+  SAM_ASSIGN_OR_RETURN(c.seconds_elapsed, r.GetDouble());
+  SAM_ASSIGN_OR_RETURN(c.epoch_loss_sum, r.GetDouble());
+  SAM_ASSIGN_OR_RETURN(c.epoch_loss_count, r.GetU64());
+  SAM_ASSIGN_OR_RETURN(c.epoch_processed, r.GetU64());
+  SAM_ASSIGN_OR_RETURN(c.rng_state, r.GetString());
+  SAM_ASSIGN_OR_RETURN(const uint64_t order_size, r.GetU64());
+  if (order_size > r.remaining() / sizeof(uint64_t)) {
+    return Status::OutOfRange("checkpoint order size " +
+                              std::to_string(order_size) +
+                              " overruns payload");
+  }
+  c.order.resize(order_size);
+  for (auto& v : c.order) {
+    SAM_ASSIGN_OR_RETURN(v, r.GetU64());
+  }
+  SAM_ASSIGN_OR_RETURN(c.adam_step_count, r.GetI64());
+  SAM_ASSIGN_OR_RETURN(c.adam_lr, r.GetDouble());
+  SAM_ASSIGN_OR_RETURN(c.adam_m, GetMatrixVector(&r));
+  SAM_ASSIGN_OR_RETURN(c.adam_v, GetMatrixVector(&r));
+  SAM_ASSIGN_OR_RETURN(c.params, GetMatrixVector(&r));
+  SAM_ASSIGN_OR_RETURN(const uint64_t n_stats, r.GetU64());
+  if (n_stats > r.remaining() / 32) {
+    return Status::OutOfRange("checkpoint stats count overruns payload");
+  }
+  c.stats.reserve(n_stats);
+  for (uint64_t i = 0; i < n_stats; ++i) {
+    DpsEpochStats s;
+    SAM_ASSIGN_OR_RETURN(const uint64_t e, r.GetU64());
+    s.epoch = e;
+    SAM_ASSIGN_OR_RETURN(s.mean_loss, r.GetDouble());
+    SAM_ASSIGN_OR_RETURN(s.seconds_elapsed, r.GetDouble());
+    SAM_ASSIGN_OR_RETURN(const uint64_t q, r.GetU64());
+    s.queries_processed = q;
+    c.stats.push_back(s);
+  }
+  SAM_RETURN_NOT_OK(r.ExpectEnd());
+  return c;
+}
+
+std::string CheckpointFileName(uint64_t epoch, uint64_t step_start) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "ckpt_%06llu_%08llu.ckpt",
+                static_cast<unsigned long long>(epoch),
+                static_cast<unsigned long long>(step_start));
+  return buf;
+}
+
+std::vector<std::string> ListCheckpointFiles(const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> names;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.size() > 10 && name.rfind("ckpt_", 0) == 0 &&
+        name.compare(name.size() - 5, 5, ".ckpt") == 0) {
+      names.push_back(name);
+    }
+  }
+  // File names embed zero-padded (epoch, step), so lexicographic order is
+  // training order.
+  std::sort(names.begin(), names.end());
+  std::vector<std::string> paths;
+  paths.reserve(names.size());
+  for (const auto& n : names) paths.push_back(dir + "/" + n);
+  return paths;
+}
+
+Result<TrainingCheckpoint> LoadLatestValidCheckpoint(
+    const std::string& dir, std::string* loaded_path) {
+  const std::vector<std::string> files = ListCheckpointFiles(dir);
+  if (files.empty()) {
+    return Status::NotFound("no checkpoints in '" + dir + "'");
+  }
+  for (auto it = files.rbegin(); it != files.rend(); ++it) {
+    Result<TrainingCheckpoint> loaded = TrainingCheckpoint::Load(*it);
+    if (loaded.ok()) {
+      if (loaded_path != nullptr) *loaded_path = *it;
+      return loaded;
+    }
+    SAM_LOG(Warn) << "skipping corrupt checkpoint " << *it << ": "
+                     << loaded.status().ToString();
+  }
+  return Status::IOError("all " + std::to_string(files.size()) +
+                         " checkpoint(s) in '" + dir +
+                         "' are corrupt; refusing to restart from scratch "
+                         "silently (clear the directory to start over)");
+}
+
+void PruneCheckpoints(const std::string& dir, size_t keep) {
+  if (keep == 0) return;
+  const std::vector<std::string> files = ListCheckpointFiles(dir);
+  if (files.size() <= keep) return;
+  std::error_code ec;
+  for (size_t i = 0; i + keep < files.size(); ++i) {
+    std::filesystem::remove(files[i], ec);
+  }
+}
+
+}  // namespace sam

@@ -61,4 +61,28 @@ void AdamOptimizer::ZeroGrad() {
   for (auto& p : params_) p.ZeroGrad();
 }
 
+Status AdamOptimizer::RestoreState(int64_t step_count, std::vector<Matrix> m,
+                                   std::vector<Matrix> v) {
+  if (step_count < 0) {
+    return Status::InvalidArgument("Adam step count must be non-negative");
+  }
+  if (m.size() != params_.size() || v.size() != params_.size()) {
+    return Status::InvalidArgument(
+        "Adam state has " + std::to_string(m.size()) + "/" +
+        std::to_string(v.size()) + " moment matrices, optimiser has " +
+        std::to_string(params_.size()) + " parameters");
+  }
+  for (size_t k = 0; k < params_.size(); ++k) {
+    if (m[k].rows() != params_[k].rows() || m[k].cols() != params_[k].cols() ||
+        v[k].rows() != params_[k].rows() || v[k].cols() != params_[k].cols()) {
+      return Status::InvalidArgument("Adam moment shape mismatch at parameter " +
+                                     std::to_string(k));
+    }
+  }
+  t_ = step_count;
+  m_ = std::move(m);
+  v_ = std::move(v);
+  return Status::OK();
+}
+
 }  // namespace sam::ad

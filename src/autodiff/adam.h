@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "autodiff/tensor.h"
+#include "common/result.h"
 
 namespace sam::ad {
 
@@ -32,6 +33,21 @@ class AdamOptimizer {
 
   const Options& options() const { return options_; }
   void set_lr(double lr) { options_.lr = lr; }
+
+  // --- Checkpoint support ----------------------------------------------------
+
+  /// Number of `Step()` calls applied so far (drives bias correction).
+  int64_t step_count() const { return t_; }
+
+  /// First/second-moment accumulators, one matrix per parameter.
+  const std::vector<Matrix>& moments_m() const { return m_; }
+  const std::vector<Matrix>& moments_v() const { return v_; }
+
+  /// Restores optimiser state captured from another instance over the same
+  /// parameter set. Fails with `InvalidArgument` on count/shape mismatch
+  /// without modifying any state.
+  Status RestoreState(int64_t step_count, std::vector<Matrix> m,
+                      std::vector<Matrix> v);
 
  private:
   std::vector<Tensor> params_;

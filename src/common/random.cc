@@ -2,8 +2,26 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 
 namespace sam {
+
+std::string Rng::SaveState() const {
+  std::ostringstream out;
+  out << engine_;
+  return out.str();
+}
+
+Status Rng::RestoreState(const std::string& state) {
+  std::istringstream in(state);
+  std::mt19937_64 restored;
+  in >> restored;
+  if (in.fail()) {
+    return Status::InvalidArgument("unparseable RNG state");
+  }
+  engine_ = restored;
+  return Status::OK();
+}
 
 double Rng::Gumbel() {
   // -log(-log(U)) with U in (0,1); clamp away from 0 to avoid inf.

@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cstdint>
 #include <random>
+#include <string>
 #include <vector>
+
+#include "common/status.h"
 
 namespace sam {
 
@@ -72,6 +75,18 @@ class Rng {
   }
 
   std::mt19937_64& engine() { return engine_; }
+
+  /// \brief Exact engine-state capture for checkpoint/restore.
+  ///
+  /// The state round-trips losslessly through the engine's standard text
+  /// serialisation, so a restored `Rng` produces the identical stream. The
+  /// per-call distribution objects above are constructed fresh every call
+  /// and therefore carry no state of their own.
+  std::string SaveState() const;
+
+  /// Restores a state captured with `SaveState`. Fails with
+  /// `InvalidArgument` when the string does not parse as an engine state.
+  Status RestoreState(const std::string& state);
 
  private:
   std::mt19937_64 engine_;

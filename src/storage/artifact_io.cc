@@ -1,0 +1,372 @@
+#include "storage/artifact_io.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+
+namespace sam {
+
+namespace {
+
+constexpr uint32_t kArtifactMagic = 0x414d4153;  // "SAMA" little-endian.
+constexpr uint32_t kContainerVersion = 1;
+constexpr size_t kKindBytes = 8;
+constexpr size_t kHeaderBytes = 4 + 4 + kKindBytes + 4 + 4 + 8;
+
+std::array<uint32_t, 256> BuildCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+ArtifactFaultInjection g_faults;
+bool g_faults_active = false;
+
+/// Resolves whether the fault seam fires for this commit (and consumes one
+/// `skip_commits` credit when armed but not yet due).
+bool FaultFires() {
+  if (!g_faults_active) return false;
+  if (g_faults.skip_commits > 0) {
+    --g_faults.skip_commits;
+    return false;
+  }
+  return true;
+}
+
+Status WriteAllBytes(int fd, const char* data, size_t len,
+                     const std::string& path) {
+  size_t done = 0;
+  while (done < len) {
+    const ssize_t n = ::write(fd, data + done, len - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("write failed for '" + path + "': " +
+                             std::strerror(errno));
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+/// Best-effort fsync of the directory containing `path`, so the rename
+/// itself is durable. Errors are ignored: on filesystems that reject
+/// directory fsync the rename is still atomic, just not yet durable.
+void FsyncParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+}
+
+void FlipBitInFile(const std::string& path, long long byte_offset) {
+  const int fd = ::open(path.c_str(), O_RDWR);
+  if (fd < 0) return;
+  const off_t size = ::lseek(fd, 0, SEEK_END);
+  if (size > 0) {
+    const off_t off = static_cast<off_t>(byte_offset % size);
+    char b = 0;
+    if (::pread(fd, &b, 1, off) == 1) {
+      b ^= 0x10;
+      ::pwrite(fd, &b, 1, off);
+      ::fsync(fd);
+    }
+  }
+  ::close(fd);
+}
+
+/// Shared commit path: writes `blob` to `path + ".tmp"`, fsyncs, renames.
+/// Injected faults leave the filesystem exactly as the simulated crash
+/// would (see ArtifactFaultInjection).
+Status CommitBlob(const std::string& path, const std::string& blob) {
+  const bool faulty = FaultFires();
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IOError("cannot open '" + tmp + "' for writing: " +
+                           std::strerror(errno));
+  }
+
+  size_t to_write = blob.size();
+  bool injected_torn_write = false;
+  if (faulty) {
+    if (g_faults.fail_write_at_byte >= 0 &&
+        static_cast<size_t>(g_faults.fail_write_at_byte) < blob.size()) {
+      to_write = static_cast<size_t>(g_faults.fail_write_at_byte);
+      injected_torn_write = true;
+    } else if (g_faults.truncate_on_close) {
+      to_write = blob.size() / 2;
+    }
+  }
+
+  const Status write_st = WriteAllBytes(fd, blob.data(), to_write, tmp);
+  if (!write_st.ok()) {
+    ::close(fd);
+    ::unlink(tmp.c_str());  // Real error, not a simulated crash: clean up.
+    return write_st;
+  }
+  if (injected_torn_write) {
+    // Simulated crash mid-write: the torn temp file stays on disk and the
+    // target path is untouched.
+    ::close(fd);
+    return Status::IOError("injected fault: crash after writing " +
+                           std::to_string(to_write) + " of " +
+                           std::to_string(blob.size()) + " bytes to '" + tmp +
+                           "'");
+  }
+  if (::fsync(fd) != 0) {
+    const Status st = Status::IOError("fsync failed for '" + tmp + "': " +
+                                      std::strerror(errno));
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return st;
+  }
+  ::close(fd);
+
+  if (faulty && g_faults.torn_rename) {
+    // Simulated crash between fsync and rename: complete temp file, target
+    // path untouched.
+    return Status::IOError("injected fault: crash before renaming '" + tmp +
+                           "' over '" + path + "'");
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const Status st = Status::IOError("rename '" + tmp + "' -> '" + path +
+                                      "' failed: " + std::strerror(errno));
+    ::unlink(tmp.c_str());
+    return st;
+  }
+  FsyncParentDir(path);
+  if (faulty && g_faults.bit_flip_at_byte >= 0) {
+    // Post-commit bit rot: the commit itself reports success.
+    FlipBitInFile(path, g_faults.bit_flip_at_byte);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t len, uint32_t seed) {
+  static const std::array<uint32_t, 256> table = BuildCrcTable();
+  uint32_t c = seed ^ 0xffffffffu;
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < len; ++i) {
+    c = table[(c ^ p[i]) & 0xffu] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+void SetArtifactFaultInjectionForTest(const ArtifactFaultInjection& faults) {
+  g_faults = faults;
+  g_faults_active = true;
+}
+
+void ClearArtifactFaultInjectionForTest() {
+  g_faults = ArtifactFaultInjection();
+  g_faults_active = false;
+}
+
+Status AtomicWriteFile(const std::string& path, const std::string& contents) {
+  return CommitBlob(path, contents);
+}
+
+ArtifactWriter::ArtifactWriter(std::string kind, uint32_t version)
+    : kind_(std::move(kind)), version_(version) {
+  kind_.resize(kKindBytes, '\0');
+}
+
+void ArtifactWriter::PutRaw(const void* data, size_t len) {
+  payload_.append(static_cast<const char*>(data), len);
+}
+
+void ArtifactWriter::PutU32(uint32_t v) { PutRaw(&v, sizeof(v)); }
+void ArtifactWriter::PutU64(uint64_t v) { PutRaw(&v, sizeof(v)); }
+void ArtifactWriter::PutI64(int64_t v) { PutRaw(&v, sizeof(v)); }
+void ArtifactWriter::PutDouble(double v) { PutRaw(&v, sizeof(v)); }
+
+void ArtifactWriter::PutBool(bool v) {
+  const unsigned char b = v ? 1 : 0;
+  PutRaw(&b, 1);
+}
+
+void ArtifactWriter::PutString(const std::string& s) {
+  PutU64(s.size());
+  PutRaw(s.data(), s.size());
+}
+
+void ArtifactWriter::PutMatrix(const Matrix& m) {
+  PutU64(m.rows());
+  PutU64(m.cols());
+  PutRaw(m.data(), m.size() * sizeof(double));
+}
+
+Status ArtifactWriter::Commit(const std::string& path) const {
+  std::string blob;
+  blob.reserve(kHeaderBytes + payload_.size());
+  auto append = [&blob](const void* data, size_t len) {
+    blob.append(static_cast<const char*>(data), len);
+  };
+  append(&kArtifactMagic, 4);
+  const uint32_t container = kContainerVersion;
+  append(&container, 4);
+  append(kind_.data(), kKindBytes);
+  append(&version_, 4);
+  const uint32_t crc = Crc32(payload_.data(), payload_.size());
+  append(&crc, 4);
+  const uint64_t size = payload_.size();
+  append(&size, 8);
+  blob += payload_;
+  return CommitBlob(path, blob);
+}
+
+Result<ArtifactReader> ArtifactReader::Open(const std::string& path,
+                                            const std::string& kind) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open '" + path + "'");
+  std::string blob((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  if (in.bad()) return Status::IOError("read failed for '" + path + "'");
+  if (blob.size() < kHeaderBytes) {
+    return Status::IOError("artifact '" + path + "' truncated: " +
+                           std::to_string(blob.size()) +
+                           " bytes is smaller than the header");
+  }
+  size_t off = 0;
+  auto read32 = [&]() {
+    uint32_t v;
+    std::memcpy(&v, blob.data() + off, 4);
+    off += 4;
+    return v;
+  };
+  if (read32() != kArtifactMagic) {
+    return Status::InvalidArgument("'" + path + "' is not a SAM artifact");
+  }
+  const uint32_t container = read32();
+  if (container != kContainerVersion) {
+    return Status::InvalidArgument("artifact '" + path +
+                                   "' has unsupported container version " +
+                                   std::to_string(container));
+  }
+  std::string file_kind = blob.substr(off, kKindBytes);
+  off += kKindBytes;
+  std::string want_kind = kind;
+  want_kind.resize(kKindBytes, '\0');
+  if (file_kind != want_kind) {
+    return Status::InvalidArgument(
+        "artifact '" + path + "' has kind '" +
+        file_kind.substr(0, file_kind.find('\0')) + "', expected '" + kind +
+        "'");
+  }
+  ArtifactReader reader;
+  reader.version_ = read32();
+  const uint32_t crc = read32();
+  uint64_t payload_size;
+  std::memcpy(&payload_size, blob.data() + off, 8);
+  off += 8;
+  if (payload_size != blob.size() - kHeaderBytes) {
+    return Status::IOError(
+        "artifact '" + path + "' corrupt: header declares " +
+        std::to_string(payload_size) + " payload bytes, file has " +
+        std::to_string(blob.size() - kHeaderBytes));
+  }
+  reader.payload_ = blob.substr(kHeaderBytes);
+  if (Crc32(reader.payload_.data(), reader.payload_.size()) != crc) {
+    return Status::IOError("artifact '" + path +
+                           "' corrupt: payload checksum mismatch");
+  }
+  return reader;
+}
+
+Status ArtifactReader::GetRaw(void* out, size_t len) {
+  if (len > payload_.size() - pos_) {
+    return Status::OutOfRange("artifact read of " + std::to_string(len) +
+                              " bytes overruns payload (" +
+                              std::to_string(payload_.size() - pos_) +
+                              " bytes left)");
+  }
+  std::memcpy(out, payload_.data() + pos_, len);
+  pos_ += len;
+  return Status::OK();
+}
+
+Result<uint32_t> ArtifactReader::GetU32() {
+  uint32_t v;
+  SAM_RETURN_NOT_OK(GetRaw(&v, sizeof(v)));
+  return v;
+}
+
+Result<uint64_t> ArtifactReader::GetU64() {
+  uint64_t v;
+  SAM_RETURN_NOT_OK(GetRaw(&v, sizeof(v)));
+  return v;
+}
+
+Result<int64_t> ArtifactReader::GetI64() {
+  int64_t v;
+  SAM_RETURN_NOT_OK(GetRaw(&v, sizeof(v)));
+  return v;
+}
+
+Result<double> ArtifactReader::GetDouble() {
+  double v;
+  SAM_RETURN_NOT_OK(GetRaw(&v, sizeof(v)));
+  return v;
+}
+
+Result<bool> ArtifactReader::GetBool() {
+  unsigned char b;
+  SAM_RETURN_NOT_OK(GetRaw(&b, 1));
+  if (b > 1) return Status::IOError("artifact bool field has value " +
+                                    std::to_string(b));
+  return b == 1;
+}
+
+Result<std::string> ArtifactReader::GetString() {
+  SAM_ASSIGN_OR_RETURN(const uint64_t len, GetU64());
+  if (len > payload_.size() - pos_) {
+    return Status::OutOfRange("artifact string of " + std::to_string(len) +
+                              " bytes overruns payload");
+  }
+  std::string s = payload_.substr(pos_, len);
+  pos_ += len;
+  return s;
+}
+
+Result<Matrix> ArtifactReader::GetMatrix() {
+  SAM_ASSIGN_OR_RETURN(const uint64_t rows, GetU64());
+  SAM_ASSIGN_OR_RETURN(const uint64_t cols, GetU64());
+  // Validate the byte count before allocating or copying anything, so a
+  // corrupt dimension can neither over-allocate nor partially fill. The
+  // per-dimension bounds make the product overflow-safe.
+  const uint64_t left = payload_.size() - pos_;
+  if (rows > left || cols > left ||
+      (rows != 0 && cols != 0 && rows * cols > left / sizeof(double))) {
+    return Status::OutOfRange("artifact matrix " + std::to_string(rows) + "x" +
+                              std::to_string(cols) + " overruns payload");
+  }
+  Matrix m(rows, cols);
+  SAM_RETURN_NOT_OK(GetRaw(m.data(), m.size() * sizeof(double)));
+  return m;
+}
+
+Status ArtifactReader::ExpectEnd() const {
+  if (pos_ != payload_.size()) {
+    return Status::IOError("artifact has " +
+                           std::to_string(payload_.size() - pos_) +
+                           " unread trailing bytes");
+  }
+  return Status::OK();
+}
+
+}  // namespace sam

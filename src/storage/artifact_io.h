@@ -1,0 +1,133 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "linalg/matrix.h"
+
+namespace sam {
+
+/// \brief Crash-safe binary artifact I/O shared by every durable file the
+/// system writes (model weights, training checkpoints).
+///
+/// Artifacts are single files with a fixed header:
+///
+///   u32 magic ("SAMA")  u32 container version  char kind[8]
+///   u32 artifact version  u32 crc32(payload)  u64 payload size  payload...
+///
+/// Writers buffer the full payload in memory and commit it with
+/// write-temp → fsync → rename → fsync(dir), so a crash at any instant
+/// leaves either the previous file intact or a temp file the reader never
+/// looks at. Readers validate magic, kind, declared payload length and the
+/// CRC32 before exposing a single byte, so truncation and bit rot surface as
+/// a clean `Status` instead of partially-applied state.
+///
+/// Byte order is host order; artifacts are an internal persistence format,
+/// not a cross-architecture interchange format (the CI fleet is
+/// little-endian x86-64).
+
+/// CRC32 (IEEE 802.3 polynomial, as used by zlib). `seed` chains blocks.
+uint32_t Crc32(const void* data, size_t len, uint32_t seed = 0);
+
+/// \brief Test seam: injectable failures in the artifact commit path.
+///
+/// Faults simulate crashes and disk corruption, so an injected failure
+/// deliberately leaves the filesystem exactly as a real crash would (torn
+/// temp files are NOT cleaned up). Production code never sets these.
+struct ArtifactFaultInjection {
+  /// Number of successful commits to allow before the fault fires
+  /// (0 = fire on the next commit). Decremented per commit.
+  int skip_commits = 0;
+  /// >= 0: the temp-file write stops after this many bytes and Commit
+  /// returns IOError, simulating a crash mid-write.
+  long long fail_write_at_byte = -1;
+  /// Write only half the bytes but report success (lying close / lost
+  /// cache flush): the *final* file is truncated, detectable on read.
+  bool truncate_on_close = false;
+  /// Crash after the temp file is complete but before the rename: Commit
+  /// returns IOError, the target path is untouched.
+  bool torn_rename = false;
+  /// >= 0: after a fully successful commit, flip one bit at this byte
+  /// offset (mod file size) in the final file, simulating bit rot.
+  long long bit_flip_at_byte = -1;
+};
+
+/// Installs / clears the global fault-injection seam (tests only).
+void SetArtifactFaultInjectionForTest(const ArtifactFaultInjection& faults);
+void ClearArtifactFaultInjectionForTest();
+
+/// \brief Writes `contents` to `path` with atomic temp+fsync+rename
+/// semantics (no header/checksum — used for interoperable text formats:
+/// CSVs, schema files, workloads). Goes through the fault-injection seam.
+Status AtomicWriteFile(const std::string& path, const std::string& contents);
+
+/// \brief Serialises one artifact payload and commits it atomically.
+class ArtifactWriter {
+ public:
+  /// `kind` is an up-to-8-char ASCII tag (e.g. "MADEMODL"); `version` is the
+  /// per-kind payload version readers use to gate compatibility.
+  ArtifactWriter(std::string kind, uint32_t version);
+
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutI64(int64_t v);
+  void PutDouble(double v);
+  void PutBool(bool v);
+  /// u64 length + raw bytes.
+  void PutString(const std::string& s);
+  /// u64 rows + u64 cols + row-major doubles.
+  void PutMatrix(const Matrix& m);
+
+  size_t payload_size() const { return payload_.size(); }
+
+  /// Atomically publishes the artifact at `path` (see file comment).
+  Status Commit(const std::string& path) const;
+
+ private:
+  void PutRaw(const void* data, size_t len);
+
+  std::string kind_;
+  uint32_t version_;
+  std::string payload_;
+};
+
+/// \brief Validates and reads back an artifact written by `ArtifactWriter`.
+///
+/// `Open` performs all integrity checks up front; the typed getters are
+/// bounds-checked against the declared payload, so a corrupt length field
+/// can never cause an out-of-bounds read or a partially-filled object.
+class ArtifactReader {
+ public:
+  /// Opens `path`, expecting artifact kind `kind`. Fails with
+  /// `InvalidArgument` on wrong magic/kind and `IOError` on truncation or
+  /// checksum mismatch.
+  static Result<ArtifactReader> Open(const std::string& path,
+                                     const std::string& kind);
+
+  uint32_t version() const { return version_; }
+  size_t remaining() const { return payload_.size() - pos_; }
+
+  Result<uint32_t> GetU32();
+  Result<uint64_t> GetU64();
+  Result<int64_t> GetI64();
+  Result<double> GetDouble();
+  Result<bool> GetBool();
+  Result<std::string> GetString();
+  Result<Matrix> GetMatrix();
+
+  /// Fails unless every payload byte has been consumed (catches writer/
+  /// reader schema drift and trailing garbage).
+  Status ExpectEnd() const;
+
+ private:
+  ArtifactReader() = default;
+
+  Status GetRaw(void* out, size_t len);
+
+  uint32_t version_ = 0;
+  std::string payload_;
+  size_t pos_ = 0;
+};
+
+}  // namespace sam

@@ -2,14 +2,17 @@
 
 #include <cstdlib>
 #include <fstream>
+#include <sstream>
 
 #include "common/string_util.h"
+#include "storage/artifact_io.h"
 
 namespace sam {
 
 Status WriteCsv(const Table& table, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
+  // Serialise fully, then atomically rename into place so a crash can never
+  // leave a half-written CSV at the target path.
+  std::ostringstream out;
   for (size_t c = 0; c < table.num_columns(); ++c) {
     if (c > 0) out << ',';
     out << table.column(c).name();
@@ -23,8 +26,7 @@ Status WriteCsv(const Table& table, const std::string& path) {
     }
     out << '\n';
   }
-  if (!out) return Status::IOError("write failed for '" + path + "'");
-  return Status::OK();
+  return AtomicWriteFile(path, out.str());
 }
 
 Result<Table> ReadCsv(const std::string& name, const std::string& path,

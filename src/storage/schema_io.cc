@@ -1,8 +1,11 @@
 #include "storage/schema_io.h"
 
+#include <filesystem>
 #include <fstream>
+#include <sstream>
 
 #include "common/string_util.h"
+#include "storage/artifact_io.h"
 #include "storage/csv.h"
 
 namespace sam {
@@ -19,8 +22,7 @@ Result<ColumnType> ParseType(const std::string& s) {
 }  // namespace
 
 Status SaveSchema(const Database& db, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
+  std::ostringstream out;
   for (const auto& t : db.tables()) {
     out << "table " << t.name() << '\n';
     for (const auto& c : t.columns()) {
@@ -32,8 +34,7 @@ Status SaveSchema(const Database& db, const std::string& path) {
           << fk.parent_column << '\n';
     }
   }
-  if (!out) return Status::IOError("write failed for '" + path + "'");
-  return Status::OK();
+  return AtomicWriteFile(path, out.str());
 }
 
 Result<Database> LoadSchema(const std::string& path) {
@@ -90,6 +91,51 @@ Status SaveDatabase(const Database& db, const std::string& dir) {
   for (const auto& t : db.tables()) {
     SAM_RETURN_NOT_OK(WriteCsv(t, dir + "/" + t.name() + ".csv"));
   }
+  return Status::OK();
+}
+
+Status SaveDatabaseAtomic(const Database& db, const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  const fs::path target(dir);
+  if (target.has_parent_path()) {
+    fs::create_directories(target.parent_path(), ec);  // Best effort.
+  }
+  const std::string staging = dir + ".staging";
+  fs::remove_all(staging, ec);
+  ec.clear();
+  fs::create_directories(staging, ec);
+  if (ec) {
+    return Status::IOError("cannot create staging dir '" + staging + "': " +
+                           ec.message());
+  }
+  const Status st = SaveDatabase(db, staging);
+  if (!st.ok()) {
+    fs::remove_all(staging, ec);
+    return st;
+  }
+  // Swap: move any previous output aside, promote the staging dir, then drop
+  // the old copy. The only non-atomic window is between the two renames; a
+  // crash there leaves the complete new database under `.staging` and the
+  // complete old one under `.old` — never a torn mix under `dir`.
+  const std::string old = dir + ".old";
+  fs::remove_all(old, ec);
+  ec.clear();
+  if (fs::exists(dir)) {
+    fs::rename(dir, old, ec);
+    if (ec) {
+      return Status::IOError("cannot move previous '" + dir + "' aside: " +
+                             ec.message());
+    }
+  }
+  fs::rename(staging, dir, ec);
+  if (ec) {
+    std::error_code restore_ec;
+    fs::rename(old, dir, restore_ec);  // Try to put the old output back.
+    return Status::IOError("cannot publish '" + staging + "' as '" + dir +
+                           "': " + ec.message());
+  }
+  fs::remove_all(old, ec);
   return Status::OK();
 }
 

@@ -23,8 +23,17 @@ Status SaveSchema(const Database& db, const std::string& path);
 Result<Database> LoadSchema(const std::string& path);
 
 /// \brief Saves schema + per-table CSVs into `dir` (created by the caller):
-/// `schema.txt` plus `<table>.csv` for every relation.
+/// `schema.txt` plus `<table>.csv` for every relation. Each file is written
+/// with atomic temp+rename semantics, but the directory as a whole is not
+/// transactional — use `SaveDatabaseAtomic` for all-or-nothing output.
 Status SaveDatabase(const Database& db, const std::string& dir);
+
+/// \brief All-or-nothing `SaveDatabase`: stages every file into a sibling
+/// `<dir>.staging` directory and swaps it into place only after the last
+/// file committed, so `dir` either keeps its previous contents or holds the
+/// complete new database — never a partially-written mix. Parent
+/// directories of `dir` are created as needed.
+Status SaveDatabaseAtomic(const Database& db, const std::string& dir);
 
 /// \brief Loads a database saved with SaveDatabase and validates integrity.
 Result<Database> LoadDatabase(const std::string& dir);

@@ -2,8 +2,10 @@
 
 #include <cstdlib>
 #include <fstream>
+#include <sstream>
 
 #include "common/string_util.h"
+#include "storage/artifact_io.h"
 
 namespace sam {
 
@@ -96,8 +98,9 @@ Result<PredOp> ParseOpTag(const std::string& tag) {
 }  // namespace
 
 Status SaveWorkload(const Workload& workload, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
+  // Serialise fully in memory, then publish with an atomic rename so readers
+  // never observe a torn workload file.
+  std::ostringstream out;
   for (const auto& q : workload) {
     out << Join(q.relations, ",") << '\t';
     for (size_t i = 0; i < q.predicates.size(); ++i) {
@@ -115,8 +118,7 @@ Status SaveWorkload(const Workload& workload, const std::string& path) {
     }
     out << '\t' << q.cardinality << '\n';
   }
-  if (!out) return Status::IOError("write failed for '" + path + "'");
-  return Status::OK();
+  return AtomicWriteFile(path, out.str());
 }
 
 Result<Workload> LoadWorkload(const std::string& path) {

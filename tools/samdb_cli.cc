@@ -19,6 +19,8 @@
 //   samdb_cli evaluate --original=/tmp/orig --generated=/tmp/synth \
 //                      --workload=/tmp/train.wl
 
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -39,6 +41,12 @@
 
 namespace sam::cli {
 namespace {
+
+/// Set by SIGINT/SIGTERM: the trainer polls it between steps, writes a final
+/// checkpoint, and returns normally so the process can exit 0.
+std::atomic<bool> g_stop_requested{false};
+
+void HandleStopSignal(int /*signum*/) { g_stop_requested.store(true); }
 
 /// Minimal --key=value flag map.
 class Flags {
@@ -176,9 +184,7 @@ int CmdDataset(const Flags& flags) {
   } else {
     return Fail("dataset: unknown --kind (census|dmv|imdb|figure3|chain)");
   }
-  std::error_code ec;
-  std::filesystem::create_directories(out, ec);
-  const Status st = SaveDatabase(db, out);
+  const Status st = SaveDatabaseAtomic(db, out);
   if (!st.ok()) return FailStatus(st);
   std::printf("wrote %zu table(s) to %s\n", db.num_tables(), out.c_str());
   return 0;
@@ -291,14 +297,38 @@ int CmdTrain(const Flags& flags) {
   const std::string model_out = flags.Get("model-out");
   if (model_out.empty()) return Fail("train: --model-out=FILE is required");
 
+  SamOptions options = OptionsFromFlags(flags);
+  options.training.checkpoint_dir = flags.Get("checkpoint-dir");
+  options.training.checkpoint_every_epochs =
+      static_cast<size_t>(flags.GetInt("checkpoint-every", 1));
+  options.training.checkpoint_keep =
+      static_cast<size_t>(flags.GetInt("checkpoint-keep", 2));
+  options.training.resume = flags.GetBool("resume");
+  options.training.stop_flag = &g_stop_requested;
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+
+  // --stop-after-epochs=N requests a cooperative stop once N epochs have
+  // completed *in total* (including epochs replayed from a checkpoint). Used
+  // by tests/CI to exercise the interrupt/resume path deterministically.
+  const int64_t stop_after = flags.GetInt("stop-after-epochs", 0);
+  auto on_epoch = [stop_after](const DpsEpochStats& s) {
+    std::printf("epoch %zu: loss=%.4f (%.1fs)\n", s.epoch, s.mean_loss,
+                s.seconds_elapsed);
+    std::fflush(stdout);
+    if (stop_after > 0 && s.epoch + 1 >= static_cast<size_t>(stop_after)) {
+      g_stop_requested.store(true);
+    }
+  };
+
   auto sam = SamModel::Train(in.db, in.workload, in.hints, in.foj_size,
-                             OptionsFromFlags(flags), [](const DpsEpochStats& s) {
-                               std::printf("epoch %zu: loss=%.4f (%.1fs)\n",
-                                           s.epoch, s.mean_loss,
-                                           s.seconds_elapsed);
-                               std::fflush(stdout);
-                             });
+                             options, on_epoch);
   if (!sam.ok()) return FailStatus(sam.status());
+  if (g_stop_requested.load() && !options.training.checkpoint_dir.empty()) {
+    std::printf("training interrupted; checkpoint written to %s "
+                "(rerun with --resume to continue)\n",
+                options.training.checkpoint_dir.c_str());
+  }
   const Status st = sam.ValueOrDie()->model()->Save(model_out);
   if (!st.ok()) return FailStatus(st);
   std::printf("saved model (%zu parameters) to %s\n",
@@ -324,9 +354,8 @@ int CmdGenerate(const Flags& flags) {
 
   auto gen = sam.ValueOrDie()->Generate();
   if (!gen.ok()) return FailStatus(gen.status());
-  std::error_code ec;
-  std::filesystem::create_directories(out, ec);
-  st = SaveDatabase(gen.ValueOrDie(), out);
+  // All-or-nothing publish: `out` never holds a partially generated database.
+  st = SaveDatabaseAtomic(gen.ValueOrDie(), out);
   if (!st.ok()) return FailStatus(st);
   for (const auto& t : gen.ValueOrDie().tables()) {
     std::printf("%-20s %zu rows\n", t.name().c_str(), t.num_rows());
@@ -434,6 +463,13 @@ int Usage() {
       "  train     --db=DIR --workload=FILE --hints=census|dmv|imdb|none\n"
       "            [--numeric=t.c:min:max,...] [--epochs --batch --lr --paths\n"
       "             --hidden --time-budget] --model-out=FILE\n"
+      "            [--checkpoint-dir=DIR [--checkpoint-every=N]\n"
+      "             [--checkpoint-keep=N] [--resume] [--stop-after-epochs=N]]\n"
+      "            Checkpoints are atomic + checksummed; SIGINT/SIGTERM finish\n"
+      "            the current step, write a final checkpoint and exit 0.\n"
+      "            --resume continues from the latest valid checkpoint and is\n"
+      "            bit-identical to an uninterrupted run (see\n"
+      "            docs/CHECKPOINTING.md).\n"
       "  generate  --db=DIR --workload=FILE --hints=... --model=FILE --out=DIR\n"
       "            [--foj-samples=K] [--no-group-and-merge]\n"
       "  evaluate  --original=DIR --generated=DIR --workload=FILE [--latency]\n"
