@@ -30,6 +30,10 @@ BenchConfig ParseArgs(int argc, char** argv) {
       config.repeats = static_cast<int>(std::strtol(arg.c_str() + 10, nullptr, 10));
     } else if (StartsWith(arg, "--threads=")) {
       config.threads = std::strtoull(arg.c_str() + 10, nullptr, 10);
+    } else if (StartsWith(arg, "--metrics-out=")) {
+      config.metrics_out = arg.substr(14);
+    } else if (StartsWith(arg, "--trace-out=")) {
+      config.trace_out = arg.substr(12);
     } else if (StartsWith(arg, "--benchmark")) {
       // Allow google-benchmark flags to pass through harness binaries.
     } else {
@@ -38,6 +42,44 @@ BenchConfig ParseArgs(int argc, char** argv) {
     }
   }
   return config;
+}
+
+void InitObservability(const BenchConfig& config) {
+  if (!config.trace_out.empty()) {
+    obs::EnableTracing(true);
+    obs::Tracer::Global().Reset();
+  }
+  if (!config.metrics_out.empty()) obs::EnableMetrics(true);
+}
+
+void FinishObservability(const BenchConfig& config) {
+  if (!config.trace_out.empty()) {
+    const Status st = obs::Tracer::Global().WriteChromeTrace(config.trace_out);
+    if (!st.ok()) {
+      std::fprintf(stderr, "trace write failed: %s\n", st.ToString().c_str());
+    } else {
+      std::printf("trace written to %s\n", config.trace_out.c_str());
+    }
+  }
+  if (!config.metrics_out.empty()) {
+    const Status st =
+        obs::MetricsRegistry::Global().WriteJson(config.metrics_out);
+    if (!st.ok()) {
+      std::fprintf(stderr, "metrics write failed: %s\n", st.ToString().c_str());
+    } else {
+      std::printf("metrics written to %s\n", config.metrics_out.c_str());
+    }
+  }
+}
+
+BenchPhase::BenchPhase(std::string name)
+    : name_(std::move(name)), span_("bench/" + name_) {}
+
+BenchPhase::~BenchPhase() {
+  if (!obs::MetricsEnabled()) return;
+  obs::MetricsRegistry::Global()
+      .GetHistogram("bench.phase." + name_ + "_seconds")
+      ->Observe(watch_.ElapsedSeconds());
 }
 
 DatasetSizes SizesFor(const BenchConfig& config) {

@@ -14,8 +14,11 @@
 
 #include "ar/model_schema.h"
 #include "common/result.h"
+#include "common/stopwatch.h"
 #include "engine/executor.h"
 #include "metrics/metrics.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
 #include "pgm/pgm_model.h"
 #include "query/query.h"
 #include "sam/sam_model.h"
@@ -35,9 +38,35 @@ struct BenchConfig {
   int repeats = 3;
   /// Worker threads for batched evaluation (0 = hardware concurrency).
   size_t threads = 0;
+  /// Observability sinks (empty = disabled, the instrumented code stays on
+  /// its relaxed-atomic fast path).
+  std::string metrics_out;
+  std::string trace_out;
 };
 
 BenchConfig ParseArgs(int argc, char** argv);
+
+/// Turns tracing/metrics collection on per the config. Call once at the top
+/// of a bench main, and `FinishObservability` before exit to flush the files.
+void InitObservability(const BenchConfig& config);
+void FinishObservability(const BenchConfig& config);
+
+/// \brief RAII bench phase: a `bench/<name>` trace span plus a
+/// `bench.phase.<name>_seconds` histogram sample, giving every harness a
+/// per-phase breakdown when observability is enabled. No-op otherwise.
+class BenchPhase {
+ public:
+  explicit BenchPhase(std::string name);
+  ~BenchPhase();
+
+  BenchPhase(const BenchPhase&) = delete;
+  BenchPhase& operator=(const BenchPhase&) = delete;
+
+ private:
+  std::string name_;
+  obs::TraceSpan span_;
+  Stopwatch watch_;
+};
 
 /// Dataset sizes per scale.
 struct DatasetSizes {

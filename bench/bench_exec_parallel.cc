@@ -91,13 +91,21 @@ void Report(const char* label, const EvalStats& s) {
 template <typename Setup>
 void RunSuite(const char* name, const Setup& setup, int repeats,
               size_t threads) {
-  const EvalStats seq = TimeSequential(*setup.exec, setup.train, repeats);
+  EvalStats seq, comp, par;
+  {
+    BenchPhase phase(std::string(name) + "_sequential");
+    seq = TimeSequential(*setup.exec, setup.train, repeats);
+  }
   Report((std::string(name) + " sequential Cardinality").c_str(), seq);
-  const EvalStats comp =
-      TimeCompiled(*setup.exec, *setup.db, setup.train, repeats);
+  {
+    BenchPhase phase(std::string(name) + "_compiled");
+    comp = TimeCompiled(*setup.exec, *setup.db, setup.train, repeats);
+  }
   Report((std::string(name) + " compiled + reused scratch").c_str(), comp);
-  const EvalStats par =
-      TimeParallel(*setup.exec, setup.train, repeats, threads);
+  {
+    BenchPhase phase(std::string(name) + "_parallel");
+    par = TimeParallel(*setup.exec, setup.train, repeats, threads);
+  }
   Report((std::string(name) + " ParallelCardinality").c_str(), par);
   SAM_CHECK(seq.checksum == comp.checksum && seq.checksum == par.checksum)
       << "checksum mismatch: sequential/compiled/parallel disagree";
@@ -109,6 +117,7 @@ void RunSuite(const char* name, const Setup& setup, int repeats,
 int main(int argc, char** argv) {
   using namespace sam::bench;
   const BenchConfig config = ParseArgs(argc, argv);
+  InitObservability(config);
   const int repeats = config.repeats;
   const size_t threads = config.threads;
   const DatasetSizes sizes = SizesFor(config);
@@ -129,5 +138,6 @@ int main(int argc, char** argv) {
                 setup.ValueOrDie().train.size(), repeats);
     RunSuite("imdb", setup.ValueOrDie(), repeats, threads);
   }
+  FinishObservability(config);
   return 0;
 }

@@ -12,6 +12,7 @@ int main(int argc, char** argv) {
   using namespace sam;
   using namespace sam::bench;
   const BenchConfig config = ParseArgs(argc, argv);
+  InitObservability(config);
   const DatasetSizes sizes = SizesFor(config);
   auto setup_res = SetupImdb(config, sizes.train_queries_multi);
   SAM_CHECK(setup_res.ok()) << setup_res.status().ToString();
@@ -19,8 +20,12 @@ int main(int argc, char** argv) {
 
   // Train once; sweep only the generation sample count.
   SamOptions options = ImdbSamOptions(config);
-  auto sam = SamModel::Train(*setup.db, setup.train, setup.hints,
-                             setup.foj_size, options);
+  Result<std::unique_ptr<SamModel>> sam = Status::Internal("unset");
+  {
+    BenchPhase phase("train");
+    sam = SamModel::Train(*setup.db, setup.train, setup.hints, setup.foj_size,
+                          options);
+  }
   SAM_CHECK(sam.ok()) << sam.status().ToString();
   SamModel& model = *sam.ValueOrDie();
   const Workload eval = SampleQueries(setup.train, 300, config.seed + 31);
@@ -31,6 +36,7 @@ int main(int argc, char** argv) {
 
   const size_t max_k = config.paper_scale ? 400000 : 80000;
   for (size_t k = 5000; k <= max_k; k *= 2) {
+    BenchPhase phase("generate_k" + std::to_string(k));
     Rng rng(config.seed * 2027 + k);
     Stopwatch watch;
     const SamModel::FojSample foj = model.SampleFoj(k, &rng);
@@ -42,5 +48,6 @@ int main(int argc, char** argv) {
     std::printf("%14zu%16.3f%16.3f\n", k, secs, qe.ValueOrDie().median);
     std::fflush(stdout);
   }
+  FinishObservability(config);
   return 0;
 }

@@ -10,6 +10,8 @@
 #include "autodiff/ops.h"
 #include "common/logging.h"
 #include "common/stopwatch.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
 
 namespace sam {
 
@@ -300,6 +302,10 @@ Result<std::vector<DpsEpochStats>> TrainDps(MadeModel* model,
   auto write_checkpoint = [&](uint64_t epoch, uint64_t step,
                               bool in_epoch) -> Status {
     if (!checkpointing) return Status::OK();
+    obs::TraceSpan ckpt_span("train/checkpoint");
+    static obs::Counter* checkpoints =
+        obs::MetricsRegistry::Global().GetCounter("sam.train.checkpoints");
+    checkpoints->Add(1);
     TrainingCheckpoint c;
     c.fingerprint = fingerprint;
     c.epoch = epoch;
@@ -337,6 +343,7 @@ Result<std::vector<DpsEpochStats>> TrainDps(MadeModel* model,
     // mutations (LR decay, shuffle, accumulator reset); re-applying them
     // would diverge from the uninterrupted run.
     const bool resumed_mid_epoch = epoch == start_epoch && resume_in_epoch;
+    obs::TraceSpan epoch_span("train/epoch");
     // Temperature annealing (geometric) and learning-rate decay.
     double tau = options.gumbel_tau;
     if (options.gumbel_tau_final > 0 && options.epochs > 1) {
@@ -373,6 +380,8 @@ Result<std::vector<DpsEpochStats>> TrainDps(MadeModel* model,
         SAM_RETURN_NOT_OK(write_checkpoint(epoch, start, /*in_epoch=*/true));
         break;
       }
+      obs::TraceSpan step_span("train/step");
+      Stopwatch step_watch;
       const size_t q_in_batch = std::min(options.batch_size, order.size() - start);
       // Replicate each query `sample_paths` times as batch rows.
       std::vector<const CompiledQuery*> queries(q_in_batch);
@@ -444,6 +453,18 @@ Result<std::vector<DpsEpochStats>> TrainDps(MadeModel* model,
       epoch_loss_sum += loss.value()(0, 0);
       ++epoch_loss_count;
       epoch_processed += q_in_batch;
+      if (obs::MetricsEnabled()) {
+        auto& reg = obs::MetricsRegistry::Global();
+        static obs::Counter* steps = reg.GetCounter("sam.train.steps");
+        static obs::Counter* queries = reg.GetCounter("sam.train.queries");
+        static obs::Histogram* step_seconds =
+            reg.GetHistogram("sam.train.step_seconds");
+        static obs::Gauge* last_loss = reg.GetGauge("sam.train.last_loss");
+        steps->Add(1);
+        queries->Add(q_in_batch);
+        step_seconds->Observe(step_watch.ElapsedSeconds());
+        last_loss->Set(loss.value()(0, 0));
+      }
     }
     if (stop_requested) break;
     DpsEpochStats es;

@@ -3,15 +3,28 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "obs/metrics_registry.h"
 
 namespace sam {
 
 Result<double> ProgressiveEstimator::EstimateCardinality(const Query& q) {
+  if (paths_ == 0) {
+    // EstimateCompiled would average over zero trajectories and return NaN.
+    return Status::InvalidArgument(
+        "ProgressiveEstimator needs at least one sample path");
+  }
   SAM_ASSIGN_OR_RETURN(CompiledQuery cq, model_->schema().Compile(q));
   return EstimateCompiled(cq);
 }
 
 double ProgressiveEstimator::EstimateCompiled(const CompiledQuery& cq) {
+  SAM_CHECK(paths_ > 0) << "zero sample paths would yield a 0/0 NaN estimate";
+  static obs::Counter* queries =
+      obs::MetricsRegistry::Global().GetCounter("sam.estimator.queries");
+  static obs::Counter* paths_run =
+      obs::MetricsRegistry::Global().GetCounter("sam.estimator.paths");
+  queries->Add(1);
+  paths_run->Add(paths_);
   const ModelSchema& schema = model_->schema();
   const size_t n_cols = schema.num_columns();
   const size_t batch = paths_;

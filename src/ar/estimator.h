@@ -20,10 +20,12 @@ class ProgressiveEstimator {
                        uint64_t seed = 4242)
       : model_(model), paths_(paths), rng_(seed) {}
 
-  /// Estimated Card(q). The model's sampler weights must be synced.
+  /// Estimated Card(q). The model's sampler weights must be synced. Fails
+  /// with InvalidArgument when the estimator was built with zero paths.
   Result<double> EstimateCardinality(const Query& q);
 
   /// Estimate from a pre-compiled query (avoids recompilation in sweeps).
+  /// Precondition (checked): `paths > 0` — a zero-path mean is 0/0.
   double EstimateCompiled(const CompiledQuery& cq);
 
  private:

@@ -5,6 +5,7 @@
 
 #include "autodiff/ops.h"
 #include "common/logging.h"
+#include "obs/metrics_registry.h"
 #include "storage/artifact_io.h"
 
 namespace sam {
@@ -218,6 +219,12 @@ MadeModel::SamplerState MadeModel::InitState(size_t batch) const {
 
 Matrix MadeModel::CondProbs(const SamplerState& state, size_t col) const {
   SAM_CHECK(sampler_synced_);
+  static obs::Counter* calls =
+      obs::MetricsRegistry::Global().GetCounter("sam.made.cond_probs");
+  static obs::Counter* rows =
+      obs::MetricsRegistry::Global().GetCounter("sam.made.forward_rows");
+  calls->Add(1);
+  rows->Add(state.batch);
   const size_t batch = state.batch;
   // Hidden stack from the accumulated first-layer pre-activation.
   Matrix h(batch, options_.hidden_sizes[0]);

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+
+#include "obs/metrics_registry.h"
 
 namespace sam {
 
@@ -27,11 +30,21 @@ ThreadPool::~ThreadPool() {
 std::future<void> ThreadPool::Submit(std::function<void()> task) {
   std::packaged_task<void()> packaged(std::move(task));
   std::future<void> fut = packaged.get_future();
+  size_t depth;
   {
     std::lock_guard<std::mutex> lock(mu_);
     tasks_.push(std::move(packaged));
+    depth = tasks_.size();
   }
   cv_.notify_one();
+  if (obs::MetricsEnabled()) {
+    static obs::Counter* submitted =
+        obs::MetricsRegistry::Global().GetCounter("sam.threadpool.tasks");
+    static obs::Gauge* queue_depth =
+        obs::MetricsRegistry::Global().GetGauge("sam.threadpool.queue_depth");
+    submitted->Add(1);
+    queue_depth->Set(static_cast<double>(depth));
+  }
   return fut;
 }
 
@@ -81,7 +94,18 @@ void ThreadPool::WorkerLoop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
-    task();
+    if (obs::MetricsEnabled()) {
+      static obs::Histogram* task_seconds =
+          obs::MetricsRegistry::Global().GetHistogram(
+              "sam.threadpool.task_seconds");
+      const auto t0 = std::chrono::steady_clock::now();
+      task();
+      task_seconds->Observe(
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count());
+    } else {
+      task();
+    }
   }
 }
 

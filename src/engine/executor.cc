@@ -8,6 +8,8 @@
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
 
 namespace sam {
 
@@ -145,10 +147,14 @@ Result<int64_t> Executor::Cardinality(const Query& q) const {
 
 Result<std::vector<int64_t>> Executor::ParallelCardinality(
     const Workload& workload, size_t num_threads) const {
+  obs::TraceSpan span("exec/parallel_cardinality");
   std::vector<int64_t> out(workload.size(), 0);
   if (workload.empty()) return out;
 
+  // Instrumentation stays per-shard, not per-query: the per-query loop is
+  // the hot path the <1% disabled-overhead budget protects.
   auto eval_range = [&](size_t begin, size_t end) -> Status {
+    obs::TraceSpan shard_span("exec/shard");
     engine::EvalScratch scratch;
     for (size_t i = begin; i < end; ++i) {
       SAM_ASSIGN_OR_RETURN(
@@ -156,6 +162,9 @@ Result<std::vector<int64_t>> Executor::ParallelCardinality(
           engine::CompiledQuery::Compile(*db_, graph_, workload[i]));
       SAM_ASSIGN_OR_RETURN(out[i], Cardinality(cq, &scratch));
     }
+    static obs::Counter* queries =
+        obs::MetricsRegistry::Global().GetCounter("sam.exec.queries");
+    queries->Add(end - begin);
     return Status::OK();
   };
 

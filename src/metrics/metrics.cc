@@ -14,6 +14,12 @@ double QError(double estimate, double truth) {
 
 MetricSummary Summarize(std::vector<double> values) {
   MetricSummary s;
+  // Non-finite samples are dropped up front: a single NaN makes std::sort's
+  // ordering undefined and would poison every percentile below, and `count`
+  // must reflect the samples actually summarised.
+  values.erase(std::remove_if(values.begin(), values.end(),
+                              [](double v) { return !std::isfinite(v); }),
+               values.end());
   s.count = values.size();
   if (values.empty()) return s;
   std::sort(values.begin(), values.end());

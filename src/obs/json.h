@@ -1,0 +1,44 @@
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace sam::obs {
+
+/// \brief Minimal JSON document model used by the observability tooling
+/// (`samdb_cli stats`, trace/metrics round-trip tests).
+///
+/// Supports the full JSON value grammar (objects, arrays, strings with
+/// escapes, numbers, booleans, null). Object member order is preserved so
+/// pretty-printers can mirror the writer's layout. This is an internal tool
+/// format parser, not a general-purpose library: inputs are the files this
+/// repo writes plus hand-edited variants of them.
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool bool_value = false;
+  double number_value = 0.0;
+  std::string string_value;
+  std::vector<JsonValue> array_items;
+  std::vector<std::pair<std::string, JsonValue>> object_members;
+
+  bool is_object() const { return type == Type::kObject; }
+  bool is_array() const { return type == Type::kArray; }
+
+  /// First member with `key`, or nullptr (objects only).
+  const JsonValue* Find(const std::string& key) const;
+};
+
+/// Parses `text` into a document; trailing non-whitespace is an error.
+/// Fails with `InvalidArgument` carrying the byte offset of the problem.
+Result<JsonValue> ParseJson(const std::string& text);
+
+/// Escapes `s` for embedding inside a JSON string literal (adds no quotes).
+std::string EscapeJson(const std::string& s);
+
+}  // namespace sam::obs

@@ -1,0 +1,303 @@
+#include "obs/metrics_registry.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/logging.h"
+#include "obs/json.h"
+#include "storage/artifact_io.h"
+
+namespace sam::obs {
+
+namespace internal {
+std::atomic<bool> g_metrics_enabled{false};
+}  // namespace internal
+
+void EnableMetrics(bool on) {
+  internal::g_metrics_enabled.store(on, std::memory_order_relaxed);
+}
+
+namespace {
+
+uint64_t DoubleBits(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+double BitsDouble(uint64_t bits) {
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+/// value_bits += delta, as doubles, via CAS (atomic<double>::fetch_add is
+/// C++20 but not universally lock-free; the CAS loop is portable and the
+/// contention domain is one shard).
+void AtomicAddDouble(std::atomic<uint64_t>* bits, double delta) {
+  uint64_t cur = bits->load(std::memory_order_relaxed);
+  while (!bits->compare_exchange_weak(cur, DoubleBits(BitsDouble(cur) + delta),
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+/// max(value_bits, v); `unset_zero` treats the initial all-zero bit pattern
+/// as "no sample yet" rather than the value 0.0.
+void AtomicMaxDouble(std::atomic<uint64_t>* bits, double v, bool unset_zero) {
+  uint64_t cur = bits->load(std::memory_order_relaxed);
+  while (true) {
+    if (cur != 0 || !unset_zero) {
+      if (BitsDouble(cur) >= v) return;
+    }
+    if (bits->compare_exchange_weak(cur, DoubleBits(v),
+                                    std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+void AtomicMinDouble(std::atomic<uint64_t>* bits, double v) {
+  uint64_t cur = bits->load(std::memory_order_relaxed);
+  while (true) {
+    if (cur != 0 && BitsDouble(cur) <= v) return;  // 0 bits = unset.
+    if (bits->compare_exchange_weak(cur, DoubleBits(v),
+                                    std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+// ---- Counter ---------------------------------------------------------------
+
+size_t Counter::ShardIndex() {
+  static std::atomic<size_t> next{0};
+  thread_local const size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+  return slot;
+}
+
+uint64_t Counter::Value() const {
+  uint64_t total = 0;
+  for (const Shard& s : shards_) total += s.v.load(std::memory_order_relaxed);
+  return total;
+}
+
+void Counter::Reset() {
+  for (Shard& s : shards_) s.v.store(0, std::memory_order_relaxed);
+}
+
+// ---- Gauge -----------------------------------------------------------------
+
+double Gauge::Load(const std::atomic<uint64_t>& bits) {
+  return BitsDouble(bits.load(std::memory_order_relaxed));
+}
+
+void Gauge::Set(double v) {
+  if (!MetricsEnabled()) return;
+  value_.store(DoubleBits(v), std::memory_order_relaxed);
+  AtomicMaxDouble(&max_, v, /*unset_zero=*/false);
+}
+
+void Gauge::Add(double delta) {
+  if (!MetricsEnabled()) return;
+  AtomicAddDouble(&value_, delta);
+  AtomicMaxDouble(&max_, Load(value_), /*unset_zero=*/false);
+}
+
+void Gauge::Reset() {
+  value_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+// ---- Histogram -------------------------------------------------------------
+
+size_t Histogram::BucketOf(double v) {
+  if (!(v > kMinBucket)) return 0;  // NaN and tiny values land in bucket 0.
+  const double idx = std::ceil(std::log2(v / kMinBucket));
+  if (idx >= static_cast<double>(kBuckets - 1)) return kBuckets - 1;
+  return static_cast<size_t>(idx);
+}
+
+void Histogram::Observe(double v) {
+  if (!MetricsEnabled()) return;
+  if (std::isnan(v)) return;  // A NaN sample carries no information.
+  Shard& s = shards_[Counter::ShardIndex()];
+  s.buckets[BucketOf(v)].fetch_add(1, std::memory_order_relaxed);
+  s.count.fetch_add(1, std::memory_order_relaxed);
+  AtomicAddDouble(&s.sum_bits, v);
+  AtomicMinDouble(&s.min_bits, v);
+  AtomicMaxDouble(&s.max_bits, v, /*unset_zero=*/true);
+}
+
+Histogram::Snapshot Histogram::Snap() const {
+  Snapshot out;
+  bool any = false;
+  for (const Shard& s : shards_) {
+    const uint64_t c = s.count.load(std::memory_order_relaxed);
+    if (c == 0) continue;
+    out.count += c;
+    out.sum += BitsDouble(s.sum_bits.load(std::memory_order_relaxed));
+    const double mn = BitsDouble(s.min_bits.load(std::memory_order_relaxed));
+    const double mx = BitsDouble(s.max_bits.load(std::memory_order_relaxed));
+    if (!any || mn < out.min) out.min = mn;
+    if (!any || mx > out.max) out.max = mx;
+    any = true;
+    for (size_t b = 0; b < kBuckets; ++b) {
+      out.buckets[b] += s.buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  return out;
+}
+
+double Histogram::Snapshot::Percentile(double p) const {
+  if (count == 0) return 0;
+  const uint64_t rank = static_cast<uint64_t>(
+      std::ceil(p * static_cast<double>(count)));
+  uint64_t seen = 0;
+  for (size_t b = 0; b < kBuckets; ++b) {
+    seen += buckets[b];
+    if (seen >= rank && buckets[b] > 0) {
+      return kMinBucket * std::pow(2.0, static_cast<double>(b));
+    }
+  }
+  return max;
+}
+
+void Histogram::Reset() {
+  for (Shard& s : shards_) {
+    for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
+    s.count.store(0, std::memory_order_relaxed);
+    s.sum_bits.store(0, std::memory_order_relaxed);
+    s.min_bits.store(0, std::memory_order_relaxed);
+    s.max_bits.store(0, std::memory_order_relaxed);
+  }
+}
+
+// ---- MetricsRegistry -------------------------------------------------------
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // Leaked.
+  return *registry;
+}
+
+MetricsRegistry::Entry* MetricsRegistry::GetEntry(const std::string& name,
+                                                  Kind kind) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = entries_.try_emplace(name);
+  Entry& e = it->second;
+  if (inserted) {
+    e.kind = kind;
+    switch (kind) {
+      case Kind::kCounter: e.counter = std::make_unique<Counter>(); break;
+      case Kind::kGauge: e.gauge = std::make_unique<Gauge>(); break;
+      case Kind::kHistogram: e.histogram = std::make_unique<Histogram>(); break;
+    }
+  }
+  SAM_CHECK(e.kind == kind) << "metric '" << name
+                            << "' registered under two kinds";
+  return &e;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  return GetEntry(name, Kind::kCounter)->counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  return GetEntry(name, Kind::kGauge)->gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  return GetEntry(name, Kind::kHistogram)->histogram.get();
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, e] : entries_) {
+    (void)name;
+    switch (e.kind) {
+      case Kind::kCounter: e.counter->Reset(); break;
+      case Kind::kGauge: e.gauge->Reset(); break;
+      case Kind::kHistogram: e.histogram->Reset(); break;
+    }
+  }
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  char buf[64];
+  auto num = [&](double v) {
+    if (!std::isfinite(v)) return std::string("0");
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    return std::string(buf);
+  };
+  std::string counters, gauges, histograms;
+  for (const auto& [name, e] : entries_) {
+    switch (e.kind) {
+      case Kind::kCounter:
+        if (!counters.empty()) counters += ",\n";
+        counters += "    \"" + EscapeJson(name) +
+                    "\": " + std::to_string(e.counter->Value());
+        break;
+      case Kind::kGauge:
+        if (!gauges.empty()) gauges += ",\n";
+        gauges += "    \"" + EscapeJson(name) + "\": {\"value\": " +
+                  num(e.gauge->Value()) + ", \"max\": " + num(e.gauge->Max()) +
+                  "}";
+        break;
+      case Kind::kHistogram: {
+        const Histogram::Snapshot s = e.histogram->Snap();
+        if (!histograms.empty()) histograms += ",\n";
+        histograms += "    \"" + EscapeJson(name) +
+                      "\": {\"count\": " + std::to_string(s.count) +
+                      ", \"sum\": " + num(s.sum) + ", \"min\": " + num(s.min) +
+                      ", \"max\": " + num(s.max) +
+                      ", \"mean\": " + num(s.Mean()) +
+                      ", \"p50\": " + num(s.Percentile(0.5)) +
+                      ", \"p90\": " + num(s.Percentile(0.9)) +
+                      ", \"p99\": " + num(s.Percentile(0.99)) + "}";
+        break;
+      }
+    }
+  }
+  std::string out = "{\n  \"counters\": {\n" + counters +
+                    "\n  },\n  \"gauges\": {\n" + gauges +
+                    "\n  },\n  \"histograms\": {\n" + histograms + "\n  }\n}\n";
+  return out;
+}
+
+std::string MetricsRegistry::ToText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  char line[256];
+  std::string out;
+  for (const auto& [name, e] : entries_) {
+    switch (e.kind) {
+      case Kind::kCounter:
+        std::snprintf(line, sizeof(line), "%-52s %20llu\n", name.c_str(),
+                      static_cast<unsigned long long>(e.counter->Value()));
+        break;
+      case Kind::kGauge:
+        std::snprintf(line, sizeof(line), "%-52s %20.6g  (max %.6g)\n",
+                      name.c_str(), e.gauge->Value(), e.gauge->Max());
+        break;
+      case Kind::kHistogram: {
+        const Histogram::Snapshot s = e.histogram->Snap();
+        std::snprintf(line, sizeof(line),
+                      "%-52s n=%-10llu mean=%-12.6g p50=%-12.6g p90=%-12.6g "
+                      "max=%.6g\n",
+                      name.c_str(), static_cast<unsigned long long>(s.count),
+                      s.Mean(), s.Percentile(0.5), s.Percentile(0.9), s.max);
+        break;
+      }
+    }
+    out += line;
+  }
+  return out;
+}
+
+Status MetricsRegistry::WriteJson(const std::string& path) const {
+  return AtomicWriteFile(path, ToJson());
+}
+
+}  // namespace sam::obs

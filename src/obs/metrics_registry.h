@@ -1,0 +1,165 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace sam::obs {
+
+namespace internal {
+/// Process-wide metrics switch. Off by default: every recording call is then
+/// a single branch on this relaxed atomic (the "compiled-out" fast path the
+/// hot loops rely on).
+extern std::atomic<bool> g_metrics_enabled;
+}  // namespace internal
+
+inline bool MetricsEnabled() {
+  return internal::g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+/// Flips metric recording on or off (scrape/reset work in either state).
+void EnableMetrics(bool on);
+
+/// Number of lock-free shards per metric. Threads hash onto shards by a
+/// thread-local index, so concurrent writers on different cores rarely touch
+/// the same cache line; scrapes merge all shards.
+constexpr size_t kMetricShards = 16;
+
+/// \brief Monotonic counter (events, rows, bytes).
+class Counter {
+ public:
+  void Add(uint64_t delta = 1) {
+    if (!MetricsEnabled()) return;
+    shards_[ShardIndex()].v.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  /// Merged value across shards.
+  uint64_t Value() const;
+  void Reset();
+
+  /// Shard of the calling thread (stable per thread; exposed for tests).
+  static size_t ShardIndex();
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> v{0};
+  };
+  std::array<Shard, kMetricShards> shards_;
+};
+
+/// \brief Last-value gauge that also tracks the maximum ever set (e.g. queue
+/// depth: current + high-water mark).
+class Gauge {
+ public:
+  void Set(double v);
+  /// Relative update (negative deltas allowed).
+  void Add(double delta);
+
+  double Value() const { return Load(value_); }
+  double Max() const { return Load(max_); }
+  void Reset();
+
+ private:
+  static double Load(const std::atomic<uint64_t>& bits);
+
+  std::atomic<uint64_t> value_{0};  ///< Double bit patterns: CAS-friendly.
+  std::atomic<uint64_t> max_{0};
+};
+
+/// \brief Log-scale histogram over positive doubles (latencies, sizes).
+///
+/// 64 power-of-two buckets starting at 1ns-scale resolution; each shard keeps
+/// its own bucket counts plus sum/min/max, merged on scrape. Percentiles are
+/// bucket-upper-bound approximations (<= 2x relative error), which is enough
+/// for the "where did the time go" questions this layer answers.
+class Histogram {
+ public:
+  static constexpr size_t kBuckets = 64;
+  static constexpr double kMinBucket = 1e-9;
+
+  void Observe(double v);
+
+  struct Snapshot {
+    uint64_t count = 0;
+    double sum = 0;
+    double min = 0;
+    double max = 0;
+    std::array<uint64_t, kBuckets> buckets{};
+
+    double Mean() const { return count == 0 ? 0 : sum / static_cast<double>(count); }
+    /// Approximate percentile (p in [0, 1]).
+    double Percentile(double p) const;
+  };
+
+  Snapshot Snap() const;
+  void Reset();
+
+  /// Bucket index for `v` (exposed for tests).
+  static size_t BucketOf(double v);
+
+ private:
+  struct alignas(64) Shard {
+    std::array<std::atomic<uint64_t>, kBuckets> buckets{};
+    std::atomic<uint64_t> count{0};
+    std::atomic<uint64_t> sum_bits{0};   ///< Double bits, CAS-added.
+    std::atomic<uint64_t> min_bits{0};   ///< 0 = unset.
+    std::atomic<uint64_t> max_bits{0};   ///< 0 = unset.
+  };
+  std::array<Shard, kMetricShards> shards_;
+};
+
+/// \brief Process-wide named-metric registry.
+///
+/// `Get*` registers on first use and always returns the same pointer for a
+/// name; pointers stay valid for the process lifetime (Reset zeroes values,
+/// it never deallocates), so hot paths can cache them in function-local
+/// statics. Distinct kinds share one namespace: registering a name under two
+/// kinds aborts (metric-name typo, a logic error).
+class MetricsRegistry {
+ public:
+  /// Leaked singleton: safe to touch from static destructors and detached
+  /// threads.
+  static MetricsRegistry& Global();
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  /// Zeroes every registered metric (names stay registered).
+  void Reset();
+
+  /// One merged snapshot of everything, as the stable JSON schema documented
+  /// in docs/OBSERVABILITY.md.
+  std::string ToJson() const;
+
+  /// Human-readable table (the `samdb_cli stats` format).
+  std::string ToText() const;
+
+  /// Atomically writes `ToJson()` to `path`.
+  Status WriteJson(const std::string& path) const;
+
+ private:
+  MetricsRegistry() = default;
+
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry* GetEntry(const std::string& name, Kind kind);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;  ///< Ordered: deterministic exports.
+};
+
+}  // namespace sam::obs

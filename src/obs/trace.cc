@@ -1,0 +1,103 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+
+#include "obs/json.h"
+#include "storage/artifact_io.h"
+
+namespace sam::obs {
+
+namespace internal {
+std::atomic<bool> g_tracing_enabled{false};
+}  // namespace internal
+
+void EnableTracing(bool on) {
+  internal::g_tracing_enabled.store(on, std::memory_order_relaxed);
+}
+
+namespace {
+thread_local uint32_t t_depth = 0;
+}  // namespace
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();  // Leaked.
+  return *tracer;
+}
+
+uint32_t Tracer::CurrentThreadId() {
+  static std::atomic<uint32_t> next{0};
+  thread_local const uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+uint32_t Tracer::CurrentDepth() { return t_depth; }
+
+double Tracer::NowMicros() const {
+  return static_cast<double>(NowNanos() -
+                             epoch_ns_.load(std::memory_order_relaxed)) *
+         1e-3;
+}
+
+void Tracer::Record(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (events_.size() >= kMaxEvents) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  events_.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> Tracer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+void Tracer::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  dropped_.store(0, std::memory_order_relaxed);
+  epoch_ns_.store(NowNanos(), std::memory_order_relaxed);
+}
+
+Status Tracer::WriteChromeTrace(const std::string& path) const {
+  const std::vector<TraceEvent> events = Snapshot();
+  std::string out = "{\"traceEvents\": [\n";
+  char buf[128];
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    out += "  {\"name\": \"" + EscapeJson(e.name) + "\", \"cat\": \"" +
+           EscapeJson(e.category) + "\", \"ph\": \"X\"";
+    std::snprintf(buf, sizeof(buf),
+                  ", \"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, \"tid\": %u, "
+                  "\"args\": {\"depth\": %u}}",
+                  e.ts_us, e.dur_us, e.tid, e.depth);
+    out += buf;
+    out += (i + 1 < events.size()) ? ",\n" : "\n";
+  }
+  out += "]}\n";
+  return AtomicWriteFile(path, out);
+}
+
+TraceSpan::TraceSpan(std::string name, std::string category)
+    : active_(TracingEnabled()) {
+  if (!active_) return;
+  name_ = std::move(name);
+  category_ = std::move(category);
+  depth_ = t_depth++;
+  start_us_ = Tracer::Global().NowMicros();
+}
+
+TraceSpan::~TraceSpan() {
+  if (!active_) return;
+  --t_depth;
+  TraceEvent e;
+  e.name = std::move(name_);
+  e.category = std::move(category_);
+  e.ts_us = start_us_;
+  e.dur_us = Tracer::Global().NowMicros() - start_us_;
+  e.tid = Tracer::CurrentThreadId();
+  e.depth = depth_;
+  Tracer::Global().Record(std::move(e));
+}
+
+}  // namespace sam::obs

@@ -1,0 +1,104 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace sam::obs {
+
+namespace internal {
+/// Process-wide tracing switch; same fast-path contract as the metrics flag.
+extern std::atomic<bool> g_tracing_enabled;
+}  // namespace internal
+
+inline bool TracingEnabled() {
+  return internal::g_tracing_enabled.load(std::memory_order_relaxed);
+}
+
+void EnableTracing(bool on);
+
+/// One completed span, recorded at span end.
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  double ts_us = 0;   ///< Start, microseconds since tracer epoch.
+  double dur_us = 0;
+  uint32_t tid = 0;   ///< Small dense per-thread id (not the OS tid).
+  uint32_t depth = 0; ///< Nesting depth on that thread (0 = top level).
+};
+
+/// \brief Process-wide span collector emitting Chrome-trace JSON.
+///
+/// Spans are recorded on close into a mutex-protected buffer; the layer is
+/// meant for pipeline-phase granularity (epochs, batches, relations, shards),
+/// where one lock per span is noise. The buffer is capped; overflow drops
+/// events and counts them in `dropped_events`.
+class Tracer {
+ public:
+  static Tracer& Global();  ///< Leaked singleton.
+
+  void Record(TraceEvent event);
+
+  std::vector<TraceEvent> Snapshot() const;
+  uint64_t dropped_events() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// Clears the buffer and re-bases the epoch.
+  void Reset();
+
+  /// Microseconds since the tracer epoch (steady clock).
+  double NowMicros() const;
+
+  /// Serialises the buffer as Chrome trace-event JSON
+  /// (`{"traceEvents": [...]}`, `ph:"X"` complete events; load in
+  /// chrome://tracing or Perfetto) and writes it atomically to `path`.
+  Status WriteChromeTrace(const std::string& path) const;
+
+  /// Dense id of the calling thread.
+  static uint32_t CurrentThreadId();
+  /// Current span nesting depth on the calling thread.
+  static uint32_t CurrentDepth();
+
+  static constexpr size_t kMaxEvents = 1 << 20;
+
+ private:
+  Tracer() : epoch_ns_(NowNanos()) {}
+
+  static int64_t NowNanos() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+  std::atomic<uint64_t> dropped_{0};
+  std::atomic<int64_t> epoch_ns_;  ///< Re-based by Reset; read lock-free.
+};
+
+/// \brief RAII span: opens on construction, records a TraceEvent on
+/// destruction. Free when tracing is disabled at construction (one relaxed
+/// load, no clock read). Nesting is tracked per thread.
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::string name, std::string category = "sam");
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  bool active_;
+  double start_us_ = 0;
+  uint32_t depth_ = 0;
+  std::string name_;
+  std::string category_;
+};
+
+}  // namespace sam::obs

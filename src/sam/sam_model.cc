@@ -7,14 +7,32 @@
 #include "ar/estimator.h"
 #include "common/logging.h"
 #include "common/thread_pool.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
 
 namespace sam {
+
+Status ValidateSamOptions(const SamOptions& options) {
+  if (options.generation_batch == 0) {
+    return Status::InvalidArgument(
+        "SamOptions.generation_batch must be positive");
+  }
+  if (options.foj_samples == 0) {
+    return Status::InvalidArgument("SamOptions.foj_samples must be positive");
+  }
+  if (options.sampler_threads == 0) {
+    return Status::InvalidArgument(
+        "SamOptions.sampler_threads must be positive");
+  }
+  return Status::OK();
+}
 
 Result<std::unique_ptr<SamModel>> SamModel::Create(const Database& db,
                                                    const Workload& train,
                                                    const SchemaHints& hints,
                                                    int64_t foj_size,
                                                    const SamOptions& options) {
+  SAM_RETURN_NOT_OK(ValidateSamOptions(options));
   SAM_ASSIGN_OR_RETURN(ModelSchema schema,
                        ModelSchema::Build(db, train, hints, foj_size));
   if (!options.column_order.empty()) {
@@ -60,6 +78,11 @@ Result<double> SamModel::EstimateCardinality(const Query& q, size_t paths) const
 }
 
 SamModel::FojSample SamModel::SampleFoj(size_t k, Rng* rng) const {
+  obs::TraceSpan foj_span("generate/sample_foj");
+  // `generation_batch` is validated positive in Create, but SampleFoj is
+  // callable on its own; a zero batch would loop forever below.
+  SAM_CHECK(options_.generation_batch > 0)
+      << "generation_batch must be positive";
   const size_t n_cols = schema_.num_columns();
   FojSample out;
   out.count = k;
@@ -75,6 +98,10 @@ SamModel::FojSample SamModel::SampleFoj(size_t k, Rng* rng) const {
 
   // One batch of progressive sampling into out[start, start+batch).
   auto sample_batch = [&](size_t start, size_t batch, Rng* batch_rng) {
+    obs::TraceSpan batch_span("generate/foj_batch");
+    static obs::Counter* foj_samples =
+        obs::MetricsRegistry::Global().GetCounter("sam.foj.samples");
+    foj_samples->Add(batch);
     MadeModel::SamplerState state = model_->InitState(batch);
     // Sampled indicator codes of this batch, per FK relation.
     std::unordered_map<std::string, std::vector<int32_t>> batch_indicators;
@@ -268,19 +295,22 @@ Result<Database> SamModel::GenerateFromFoj(const FojSample& foj, Rng* rng) const
 
   // ---- Step 2+3 (Alg 2): inverse probability weighting, then scaling.
   std::unordered_map<std::string, std::vector<double>> scaled_weight;
-  for (const auto& rel : order) {
-    std::vector<double> w(k);
-    double sum = 0.0;
-    for (size_t s = 0; s < k; ++s) {
-      w[s] = InverseProbabilityWeight(foj, rel, s);
-      sum += w[s];
+  {
+    obs::TraceSpan ipw_span("generate/ipw_scaling");
+    for (const auto& rel : order) {
+      std::vector<double> w(k);
+      double sum = 0.0;
+      for (size_t s = 0; s < k; ++s) {
+        w[s] = InverseProbabilityWeight(foj, rel, s);
+        sum += w[s];
+      }
+      if (sum <= 0.0) {
+        return Status::Internal("no usable samples for relation '" + rel + "'");
+      }
+      const double scale = static_cast<double>(schema_.table_size(rel)) / sum;
+      for (double& v : w) v *= scale;
+      scaled_weight.emplace(rel, std::move(w));
     }
-    if (sum <= 0.0) {
-      return Status::Internal("no usable samples for relation '" + rel + "'");
-    }
-    const double scale = static_cast<double>(schema_.table_size(rel)) / sum;
-    for (double& v : w) v *= scale;
-    scaled_weight.emplace(rel, std::move(w));
   }
 
   // Content model-column indices per relation (layout order).
@@ -298,6 +328,20 @@ Result<Database> SamModel::GenerateFromFoj(const FojSample& foj, Rng* rng) const
   auto emit_row = [&](const std::string& rel, size_t s, int64_t pk_value,
                       int64_t fk_value) -> Status {
     const TableLayout* layout = layout_of(rel);
+    if (layout == nullptr) {
+      return Status::Internal("no table layout recorded for relation '" + rel +
+                              "'");
+    }
+    if (layout->fks.size() > 1) {
+      // Generation threads a single parent key per row (VirtualSample carries
+      // one fk_value); filling every FK column with it would silently corrupt
+      // all but one of them. The join graph rejects such schemas upstream, but
+      // guard here too in case a layout arrives by another path.
+      return Status::NotImplemented(
+          "relation '" + rel + "' has " + std::to_string(layout->fks.size()) +
+          " foreign keys; generation supports tree-structured schemas with at "
+          "most one foreign key per relation");
+    }
     std::vector<Value> row;
     row.reserve(layout->column_names.size());
     for (const auto& cname : layout->column_names) {
@@ -405,6 +449,7 @@ Result<Database> SamModel::GenerateFromFoj(const FojSample& foj, Rng* rng) const
   } else {
     // ---- Step 4 (Alg 3): Group-and-Merge, recursively down the join tree.
     for (const auto& rel : order) {
+      obs::TraceSpan rel_span("generate/relation/" + rel);
       const TableLayout* layout = layout_of(rel);
       if (layout == nullptr) return Status::Internal("missing layout for " + rel);
       std::vector<double> w_scaled = scaled_weight.at(rel);
@@ -482,6 +527,10 @@ Result<Database> SamModel::GenerateFromFoj(const FojSample& foj, Rng* rng) const
         if (carry >= options_.leftover_key_threshold && !agg_order.empty()) {
           const LeafGroup& g = agg.at(agg_order.back());
           SAM_RETURN_NOT_OK(emit_row(rel, g.sample, -1, g.fk_value));
+        } else if (carry > 0.0 && obs::MetricsEnabled()) {
+          obs::MetricsRegistry::Global()
+              .GetGauge("sam.generate.leftover_mass_dropped")
+              ->Add(carry);
         }
         continue;
       }
@@ -559,10 +608,67 @@ Result<Database> SamModel::GenerateFromFoj(const FojSample& foj, Rng* rng) const
       std::sort(leftovers.begin(), leftovers.end(),
                 [](const auto& a, const auto& b) { return a.first > b.first; });
       const int64_t target = schema_.table_size(rel);
+      double dropped_mass = 0.0;
       for (auto& [weight, set_to_merge] : leftovers) {
-        if (counter >= target) break;
-        (void)weight;
+        if (counter >= target) {
+          dropped_mass += weight;
+          continue;
+        }
         SAM_RETURN_NOT_OK(assign_key(set_to_merge));
+      }
+      if (counter < target) {
+        // The scaled weights sum to |T|, so in exact arithmetic the leftovers
+        // always cover the remaining keys; floating-point drift (or leftovers
+        // individually rounding to nothing) can still leave a shortfall.
+        // Silently under-generating breaks Alg 2's size guarantee and every
+        // downstream per-relation cardinality, so top up by re-assigning keys
+        // to the heaviest groups round-robin.
+        const int64_t shortfall = target - counter;
+        struct HeavyGroup {
+          double mass = 0.0;
+          const std::string* key = nullptr;
+          const std::vector<size_t>* members = nullptr;
+        };
+        std::vector<HeavyGroup> heavy;
+        heavy.reserve(groups.size());
+        for (const auto& [gkey, members] : groups) {
+          double mass = 0.0;
+          for (size_t vi : members) {
+            mass += w_scaled[virtuals[vi].sample] * virtuals[vi].fraction;
+          }
+          heavy.push_back(HeavyGroup{mass, &gkey, &members});
+        }
+        if (heavy.empty()) {
+          return Status::Internal(
+              "relation '" + rel + "' is " + std::to_string(shortfall) +
+              " row(s) short of |T| with no merge groups to draw from");
+        }
+        std::sort(heavy.begin(), heavy.end(),
+                  [](const HeavyGroup& a, const HeavyGroup& b) {
+                    if (a.mass != b.mass) return a.mass > b.mass;
+                    return *a.key < *b.key;  // Deterministic tie-break.
+                  });
+        for (size_t i = 0; counter < target; i = (i + 1) % heavy.size()) {
+          const std::vector<size_t>& members = *heavy[i].members;
+          std::vector<std::pair<size_t, double>> set_to_merge;
+          set_to_merge.reserve(members.size());
+          // consumed = 0: the topped-up key repeats already-emitted content,
+          // and its zero-fraction child virtuals carry no mass, so child
+          // relations (renormalised to their own |T|) are unaffected.
+          for (size_t vi : members) set_to_merge.emplace_back(vi, 0.0);
+          SAM_RETURN_NOT_OK(assign_key(set_to_merge));
+        }
+        SAM_LOG(Warn) << "relation '" << rel << "': leftover merge sets ran "
+                      << "out " << shortfall << " row(s) short of |T|="
+                      << target << "; topped up from the heaviest groups";
+        obs::MetricsRegistry::Global()
+            .GetCounter("sam.generate.shortfall_rows")
+            ->Add(static_cast<uint64_t>(shortfall));
+      }
+      if (dropped_mass > 0.0 && obs::MetricsEnabled()) {
+        obs::MetricsRegistry::Global()
+            .GetGauge("sam.generate.leftover_mass_dropped")
+            ->Add(dropped_mass);
       }
       for (auto& [child, outs] : per_child_out) {
         auto& dst = incoming[child];
@@ -576,6 +682,13 @@ Result<Database> SamModel::GenerateFromFoj(const FojSample& foj, Rng* rng) const
   for (const auto& layout : layouts_) {
     Table table(layout.name);
     const auto& table_rows = rows[layout.name];
+    if (obs::MetricsEnabled()) {
+      auto& reg = obs::MetricsRegistry::Global();
+      reg.GetGauge("sam.generate.rows." + layout.name)
+          ->Set(static_cast<double>(table_rows.size()));
+      reg.GetGauge("sam.generate.target_rows." + layout.name)
+          ->Set(static_cast<double>(schema_.table_size(layout.name)));
+    }
     for (size_t ci = 0; ci < layout.column_names.size(); ++ci) {
       std::vector<Value> values;
       values.reserve(table_rows.size());

@@ -55,6 +55,12 @@ struct SamOptions {
   std::vector<size_t> column_order;
 };
 
+/// Validates the generation-side knobs (the training side is covered by
+/// `ValidateDpsOptions`). `SamModel::Create` calls this, so a zero
+/// `generation_batch` fails fast instead of hanging `SampleFoj` in an
+/// infinite loop.
+Status ValidateSamOptions(const SamOptions& options);
+
 /// \brief SAM: a supervised autoregressive database generator (the paper's
 /// headline system).
 ///

@@ -5,8 +5,12 @@
 
 #include <array>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <fstream>
+
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
 
 namespace sam {
 
@@ -90,7 +94,7 @@ void FlipBitInFile(const std::string& path, long long byte_offset) {
 /// Shared commit path: writes `blob` to `path + ".tmp"`, fsyncs, renames.
 /// Injected faults leave the filesystem exactly as the simulated crash
 /// would (see ArtifactFaultInjection).
-Status CommitBlob(const std::string& path, const std::string& blob) {
+Status CommitBlobImpl(const std::string& path, const std::string& blob) {
   const bool faulty = FaultFires();
   const std::string tmp = path + ".tmp";
   const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
@@ -153,6 +157,29 @@ Status CommitBlob(const std::string& path, const std::string& blob) {
     FlipBitInFile(path, g_faults.bit_flip_at_byte);
   }
   return Status::OK();
+}
+
+/// Observed commit path shared by AtomicWriteFile and ArtifactWriter. The
+/// trace/metrics writers themselves land here, after their snapshots are
+/// taken, so instrumenting the commit never feeds back into the output.
+Status CommitBlob(const std::string& path, const std::string& blob) {
+  obs::TraceSpan span("artifact/commit");
+  if (!obs::MetricsEnabled()) return CommitBlobImpl(path, blob);
+  static obs::Counter* commits =
+      obs::MetricsRegistry::Global().GetCounter("sam.artifact.commits");
+  static obs::Counter* bytes =
+      obs::MetricsRegistry::Global().GetCounter("sam.artifact.bytes");
+  static obs::Histogram* seconds =
+      obs::MetricsRegistry::Global().GetHistogram(
+          "sam.artifact.commit_seconds");
+  const auto t0 = std::chrono::steady_clock::now();
+  const Status st = CommitBlobImpl(path, blob);
+  seconds->Observe(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count());
+  commits->Add(1);
+  bytes->Add(blob.size());
+  return st;
 }
 
 }  // namespace

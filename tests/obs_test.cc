@@ -1,0 +1,267 @@
+// Tests of the observability subsystem: sharded metrics under concurrent
+// writers, RAII span nesting, Chrome-trace/metrics JSON round-trips through
+// the atomic artifact writer, and the internal JSON parser.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "obs/json.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
+
+namespace sam::obs {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+/// Enables metrics + tracing for the test and restores the disabled default
+/// afterwards, so the rest of the suite exercises the fast path.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    EnableMetrics(true);
+    EnableTracing(true);
+    MetricsRegistry::Global().Reset();
+    Tracer::Global().Reset();
+  }
+  void TearDown() override {
+    EnableMetrics(false);
+    EnableTracing(false);
+    MetricsRegistry::Global().Reset();
+    Tracer::Global().Reset();
+  }
+};
+
+TEST_F(ObsTest, CounterMergesConcurrentWriters) {
+  Counter* c = MetricsRegistry::Global().GetCounter("test.counter.concurrent");
+  constexpr size_t kTasks = 64;
+  constexpr size_t kAddsPerTask = 1000;
+  ThreadPool pool(8);
+  pool.ParallelFor(kTasks, [&](size_t) {
+    for (size_t i = 0; i < kAddsPerTask; ++i) c->Add(3);
+  });
+  EXPECT_EQ(c->Value(), kTasks * kAddsPerTask * 3);
+}
+
+TEST_F(ObsTest, HistogramMergesConcurrentWriters) {
+  Histogram* h =
+      MetricsRegistry::Global().GetHistogram("test.histogram.concurrent");
+  constexpr size_t kTasks = 32;
+  constexpr size_t kObsPerTask = 200;
+  ThreadPool pool(8);
+  pool.ParallelFor(kTasks, [&](size_t t) {
+    for (size_t i = 0; i < kObsPerTask; ++i) {
+      h->Observe(static_cast<double>(t + 1));  // Values in [1, kTasks].
+    }
+  });
+  const Histogram::Snapshot s = h->Snap();
+  EXPECT_EQ(s.count, kTasks * kObsPerTask);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, static_cast<double>(kTasks));
+  // Sum of t+1 for t in [0, kTasks), each kObsPerTask times.
+  EXPECT_NEAR(s.sum, kObsPerTask * kTasks * (kTasks + 1) / 2.0, 1e-6);
+  uint64_t bucket_total = 0;
+  for (uint64_t b : s.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, s.count);
+}
+
+TEST_F(ObsTest, HistogramIgnoresNaNAndBoundsPercentiles) {
+  Histogram* h = MetricsRegistry::Global().GetHistogram("test.histogram.nan");
+  h->Observe(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(h->Snap().count, 0u);
+  for (int i = 0; i < 100; ++i) h->Observe(0.001 * (i + 1));  // 1ms..100ms.
+  const Histogram::Snapshot s = h->Snap();
+  EXPECT_EQ(s.count, 100u);
+  // Log2 buckets report an upper bound: p50 >= the true median and every
+  // percentile is monotone up to the recorded max's bucket bound (2x).
+  EXPECT_GE(s.Percentile(0.5), 0.050);
+  EXPECT_LE(s.Percentile(0.5), s.Percentile(0.9) + 1e-12);
+  EXPECT_LE(s.Percentile(0.99), 2 * s.max);
+  EXPECT_NEAR(s.Mean(), 0.0505, 1e-9);
+}
+
+TEST_F(ObsTest, GaugeTracksValueAndMax) {
+  Gauge* g = MetricsRegistry::Global().GetGauge("test.gauge");
+  g->Set(5.0);
+  g->Set(9.0);
+  g->Set(2.0);
+  EXPECT_DOUBLE_EQ(g->Value(), 2.0);
+  EXPECT_DOUBLE_EQ(g->Max(), 9.0);
+  g->Add(-4.0);
+  EXPECT_DOUBLE_EQ(g->Value(), -2.0);
+  EXPECT_DOUBLE_EQ(g->Max(), 9.0);
+}
+
+TEST_F(ObsTest, DisabledMetricsAreNoOps) {
+  Counter* c = MetricsRegistry::Global().GetCounter("test.counter.disabled");
+  Histogram* h = MetricsRegistry::Global().GetHistogram("test.hist.disabled");
+  EnableMetrics(false);
+  c->Add(7);
+  h->Observe(1.0);
+  EXPECT_EQ(c->Value(), 0u);
+  EXPECT_EQ(h->Snap().count, 0u);
+  EnableMetrics(true);
+  c->Add(7);
+  EXPECT_EQ(c->Value(), 7u);
+}
+
+TEST_F(ObsTest, RegistryResetZeroesButKeepsPointersValid) {
+  Counter* c = MetricsRegistry::Global().GetCounter("test.counter.reset");
+  c->Add(11);
+  MetricsRegistry::Global().Reset();
+  EXPECT_EQ(c->Value(), 0u);
+  c->Add(2);  // The cached pointer must still be live after Reset.
+  EXPECT_EQ(c->Value(), 2u);
+  EXPECT_EQ(MetricsRegistry::Global().GetCounter("test.counter.reset"), c);
+}
+
+TEST_F(ObsTest, SpanNestingRecordsDepthAndContainment) {
+  {
+    TraceSpan outer("outer");
+    EXPECT_EQ(Tracer::CurrentDepth(), 1u);
+    {
+      TraceSpan inner("inner");
+      EXPECT_EQ(Tracer::CurrentDepth(), 2u);
+    }
+    EXPECT_EQ(Tracer::CurrentDepth(), 1u);
+  }
+  EXPECT_EQ(Tracer::CurrentDepth(), 0u);
+  const std::vector<TraceEvent> events = Tracer::Global().Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  // Spans record on close: inner first.
+  EXPECT_EQ(events[0].name, "inner");
+  EXPECT_EQ(events[0].depth, 1u);
+  EXPECT_EQ(events[1].name, "outer");
+  EXPECT_EQ(events[1].depth, 0u);
+  EXPECT_LE(events[1].ts_us, events[0].ts_us);
+  EXPECT_GE(events[1].ts_us + events[1].dur_us,
+            events[0].ts_us + events[0].dur_us);
+  EXPECT_EQ(events[0].tid, events[1].tid);
+}
+
+TEST_F(ObsTest, DisabledTracingRecordsNothingAndSkipsDepth) {
+  EnableTracing(false);
+  {
+    TraceSpan span("ghost");
+    EXPECT_EQ(Tracer::CurrentDepth(), 0u);
+  }
+  EXPECT_TRUE(Tracer::Global().Snapshot().empty());
+}
+
+TEST_F(ObsTest, ChromeTraceRoundTripsThroughAtomicWriter) {
+  {
+    TraceSpan outer("phase/outer");
+    TraceSpan inner("phase/inner \"quoted\"");
+  }
+  const std::string path = ::testing::TempDir() + "/obs_trace.json";
+  ASSERT_TRUE(Tracer::Global().WriteChromeTrace(path).ok());
+  auto parsed = ParseJson(ReadFile(path));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonValue* events = parsed.ValueOrDie().Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_EQ(events->array_items.size(), 2u);
+  const JsonValue& inner = events->array_items[0];
+  EXPECT_EQ(inner.Find("name")->string_value, "phase/inner \"quoted\"");
+  EXPECT_EQ(inner.Find("ph")->string_value, "X");
+  ASSERT_NE(inner.Find("args"), nullptr);
+  EXPECT_DOUBLE_EQ(inner.Find("args")->Find("depth")->number_value, 1.0);
+  EXPECT_GE(inner.Find("dur")->number_value, 0.0);
+  EXPECT_EQ(events->array_items[1].Find("name")->string_value, "phase/outer");
+}
+
+TEST_F(ObsTest, MetricsJsonRoundTripsThroughAtomicWriter) {
+  MetricsRegistry::Global().GetCounter("rt.counter")->Add(42);
+  MetricsRegistry::Global().GetGauge("rt.gauge")->Set(2.5);
+  Histogram* h = MetricsRegistry::Global().GetHistogram("rt.hist");
+  h->Observe(0.25);
+  h->Observe(0.75);
+  const std::string path = ::testing::TempDir() + "/obs_metrics.json";
+  ASSERT_TRUE(MetricsRegistry::Global().WriteJson(path).ok());
+  auto parsed = ParseJson(ReadFile(path));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonValue& root = parsed.ValueOrDie();
+  const JsonValue* counters = root.Find("counters");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_NE(counters->Find("rt.counter"), nullptr);
+  EXPECT_DOUBLE_EQ(counters->Find("rt.counter")->number_value, 42.0);
+  const JsonValue* gauge = root.Find("gauges")->Find("rt.gauge");
+  ASSERT_NE(gauge, nullptr);
+  EXPECT_DOUBLE_EQ(gauge->Find("value")->number_value, 2.5);
+  const JsonValue* hist = root.Find("histograms")->Find("rt.hist");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_DOUBLE_EQ(hist->Find("count")->number_value, 2.0);
+  EXPECT_DOUBLE_EQ(hist->Find("sum")->number_value, 1.0);
+  EXPECT_DOUBLE_EQ(hist->Find("mean")->number_value, 0.5);
+}
+
+TEST_F(ObsTest, TracerResetClearsEvents) {
+  { TraceSpan span("before-reset"); }
+  ASSERT_EQ(Tracer::Global().Snapshot().size(), 1u);
+  Tracer::Global().Reset();
+  EXPECT_TRUE(Tracer::Global().Snapshot().empty());
+  { TraceSpan span("after-reset"); }
+  const auto events = Tracer::Global().Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_GE(events[0].ts_us, 0.0);  // Epoch re-based by Reset.
+}
+
+// ---- JSON parser ----------------------------------------------------------
+
+TEST(ObsJsonTest, ParsesScalarsArraysAndObjects) {
+  auto parsed = ParseJson(
+      "{\"s\": \"a\\n\\\"b\\\"\", \"n\": -2.5e2, \"t\": true, \"f\": false, "
+      "\"z\": null, \"arr\": [1, [2, 3], {\"k\": 4}]}");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonValue& root = parsed.ValueOrDie();
+  EXPECT_EQ(root.Find("s")->string_value, "a\n\"b\"");
+  EXPECT_DOUBLE_EQ(root.Find("n")->number_value, -250.0);
+  EXPECT_TRUE(root.Find("t")->bool_value);
+  EXPECT_FALSE(root.Find("f")->bool_value);
+  EXPECT_EQ(root.Find("z")->type, JsonValue::Type::kNull);
+  const JsonValue* arr = root.Find("arr");
+  ASSERT_TRUE(arr->is_array());
+  ASSERT_EQ(arr->array_items.size(), 3u);
+  EXPECT_DOUBLE_EQ(arr->array_items[1].array_items[1].number_value, 3.0);
+  EXPECT_DOUBLE_EQ(arr->array_items[2].Find("k")->number_value, 4.0);
+}
+
+TEST(ObsJsonTest, DecodesUnicodeEscapes) {
+  auto parsed = ParseJson("\"\\u0041\\u00e9\\u20ac\"");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.ValueOrDie().string_value, "A\xc3\xa9\xe2\x82\xac");
+}
+
+TEST(ObsJsonTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseJson("").ok());
+  EXPECT_FALSE(ParseJson("{").ok());
+  EXPECT_FALSE(ParseJson("{\"a\": }").ok());
+  EXPECT_FALSE(ParseJson("[1, 2,]").ok());
+  EXPECT_FALSE(ParseJson("{} trailing").ok());
+  EXPECT_FALSE(ParseJson("\"unterminated").ok());
+  EXPECT_FALSE(ParseJson("nul").ok());
+}
+
+TEST(ObsJsonTest, RejectsPathologicalNesting) {
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  EXPECT_FALSE(ParseJson(deep).ok());
+}
+
+TEST(ObsJsonTest, EscapeJsonHandlesControlCharacters) {
+  EXPECT_EQ(EscapeJson("a\"b\\c\n\t"), "a\\\"b\\\\c\\n\\t");
+  EXPECT_EQ(EscapeJson(std::string(1, '\x01')), "\\u0001");
+}
+
+}  // namespace
+}  // namespace sam::obs

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <limits>
 #include <set>
 
 #include "datasets/datasets.h"
@@ -37,6 +38,35 @@ TEST(SummarizeTest, EmptyInput) {
   const MetricSummary s = Summarize({});
   EXPECT_EQ(s.count, 0u);
   EXPECT_DOUBLE_EQ(s.median, 0);
+}
+
+TEST(SummarizeTest, SingleElement) {
+  const MetricSummary s = Summarize({42.0});
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.median, 42.0);
+  EXPECT_DOUBLE_EQ(s.p90, 42.0);
+  EXPECT_DOUBLE_EQ(s.p95, 42.0);
+  EXPECT_DOUBLE_EQ(s.mean, 42.0);
+  EXPECT_DOUBLE_EQ(s.max, 42.0);
+}
+
+TEST(SummarizeTest, NonFiniteInputsAreDropped) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  const MetricSummary s = Summarize({3.0, nan, 1.0, inf, 2.0, -inf});
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.median, 2.0);
+  EXPECT_DOUBLE_EQ(s.mean, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 3.0);
+  EXPECT_TRUE(std::isfinite(s.p95));
+}
+
+TEST(SummarizeTest, AllNonFiniteBehavesAsEmpty) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const MetricSummary s = Summarize({nan, nan});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.median, 0);
+  EXPECT_DOUBLE_EQ(s.max, 0);
 }
 
 TEST(SingleRelationWorkloadTest, GeneratesLabelledQueries) {

@@ -8,6 +8,7 @@
 //   label     Re-label a workload with true cardinalities from a database.
 //   evaluate  Compare a generated database against the original on a workload.
 //   estimate  Print progressive-sampling cardinality estimates for a workload.
+//   stats     Pretty-print --metrics-out / --trace-out files from a prior run.
 //
 // Example session:
 //   samdb_cli dataset  --kind=census --rows=8000 --out=/tmp/orig
@@ -19,21 +20,27 @@
 //   samdb_cli evaluate --original=/tmp/orig --generated=/tmp/synth \
 //                      --workload=/tmp/train.wl
 
+#include <algorithm>
 #include <atomic>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "ar/estimator.h"
+#include "common/logging.h"
 #include "common/string_util.h"
 #include "datasets/datasets.h"
 #include "engine/executor.h"
 #include "metrics/metrics.h"
+#include "obs/json.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
 #include "sam/sam_model.h"
 #include "storage/schema_io.h"
 #include "workload/generator.h"
@@ -452,6 +459,116 @@ int CmdEstimate(const Flags& flags) {
   return 0;
 }
 
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open '" + path + "' for reading");
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  return data;
+}
+
+int PrintMetricsFile(const std::string& path) {
+  auto content = ReadFileToString(path);
+  if (!content.ok()) return FailStatus(content.status());
+  auto parsed = obs::ParseJson(content.ValueOrDie());
+  if (!parsed.ok()) return FailStatus(parsed.status());
+  const obs::JsonValue& root = parsed.ValueOrDie();
+  if (!root.is_object()) return Fail("'" + path + "' is not a metrics object");
+  std::printf("== metrics (%s)\n", path.c_str());
+  if (const obs::JsonValue* counters = root.Find("counters")) {
+    for (const auto& [name, v] : counters->object_members) {
+      std::printf("%-52s %20.0f\n", name.c_str(), v.number_value);
+    }
+  }
+  if (const obs::JsonValue* gauges = root.Find("gauges")) {
+    for (const auto& [name, v] : gauges->object_members) {
+      const obs::JsonValue* value = v.Find("value");
+      const obs::JsonValue* max = v.Find("max");
+      std::printf("%-52s %20.6g  (max %.6g)\n", name.c_str(),
+                  value != nullptr ? value->number_value : 0.0,
+                  max != nullptr ? max->number_value : 0.0);
+    }
+  }
+  if (const obs::JsonValue* hists = root.Find("histograms")) {
+    for (const auto& [name, v] : hists->object_members) {
+      auto field = [&v](const char* key) {
+        const obs::JsonValue* f = v.Find(key);
+        return f != nullptr ? f->number_value : 0.0;
+      };
+      std::printf(
+          "%-52s n=%-9.0f mean=%-11.4g p50=%-11.4g p90=%-11.4g max=%.4g\n",
+          name.c_str(), field("count"), field("mean"), field("p50"),
+          field("p90"), field("max"));
+    }
+  }
+  return 0;
+}
+
+int PrintTraceFile(const std::string& path) {
+  auto content = ReadFileToString(path);
+  if (!content.ok()) return FailStatus(content.status());
+  auto parsed = obs::ParseJson(content.ValueOrDie());
+  if (!parsed.ok()) return FailStatus(parsed.status());
+  const obs::JsonValue* events = parsed.ValueOrDie().Find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    return Fail("'" + path + "' has no traceEvents array");
+  }
+  struct SpanAgg {
+    size_t count = 0;
+    double total_us = 0;
+    double max_us = 0;
+  };
+  std::map<std::string, SpanAgg> by_name;
+  double wall_us = 0;
+  for (const obs::JsonValue& ev : events->array_items) {
+    const obs::JsonValue* name = ev.Find("name");
+    const obs::JsonValue* dur = ev.Find("dur");
+    const obs::JsonValue* ts = ev.Find("ts");
+    if (name == nullptr || dur == nullptr) continue;
+    SpanAgg& agg = by_name[name->string_value];
+    ++agg.count;
+    agg.total_us += dur->number_value;
+    agg.max_us = std::max(agg.max_us, dur->number_value);
+    if (ts != nullptr) {
+      wall_us = std::max(wall_us, ts->number_value + dur->number_value);
+    }
+  }
+  std::vector<std::pair<std::string, SpanAgg>> rows(by_name.begin(),
+                                                    by_name.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.second.total_us > b.second.total_us;
+  });
+  std::printf("== trace (%s): %zu events, %.1f ms wall\n", path.c_str(),
+              events->array_items.size(), wall_us * 1e-3);
+  std::printf("%-40s %8s %12s %12s %12s\n", "span", "count", "total ms",
+              "mean ms", "max ms");
+  for (const auto& [name, agg] : rows) {
+    std::printf("%-40s %8zu %12.3f %12.3f %12.3f\n", name.c_str(), agg.count,
+                agg.total_us * 1e-3,
+                agg.total_us * 1e-3 / static_cast<double>(agg.count),
+                agg.max_us * 1e-3);
+  }
+  return 0;
+}
+
+/// Pretty-prints --metrics-out/--trace-out files from a previous run.
+int CmdStats(const Flags& flags) {
+  const std::string metrics = flags.Get("metrics");
+  const std::string trace = flags.Get("trace");
+  if (metrics.empty() && trace.empty()) {
+    return Fail("stats: --metrics=FILE and/or --trace=FILE is required");
+  }
+  if (!metrics.empty()) {
+    const int rc = PrintMetricsFile(metrics);
+    if (rc != 0) return rc;
+  }
+  if (!trace.empty()) {
+    const int rc = PrintTraceFile(trace);
+    if (rc != 0) return rc;
+  }
+  return 0;
+}
+
 int Usage() {
   std::fprintf(
       stderr,
@@ -473,14 +590,18 @@ int Usage() {
       "  generate  --db=DIR --workload=FILE --hints=... --model=FILE --out=DIR\n"
       "            [--foj-samples=K] [--no-group-and-merge]\n"
       "  evaluate  --original=DIR --generated=DIR --workload=FILE [--latency]\n"
-      "  estimate  --db=DIR --workload=FILE --hints=... --model=FILE [--verbose]\n");
+      "  estimate  --db=DIR --workload=FILE --hints=... --model=FILE [--verbose]\n"
+      "  stats     --metrics=FILE and/or --trace=FILE\n"
+      "            Pretty-prints files written by --metrics-out/--trace-out.\n"
+      "global flags (any command):\n"
+      "  --trace-out=FILE    record pipeline spans, write Chrome-trace JSON\n"
+      "                      (load in chrome://tracing or Perfetto)\n"
+      "  --metrics-out=FILE  record pipeline counters/gauges/histograms as JSON\n"
+      "  --log-level=LEVEL   debug|info|warn|error (default info)\n");
   return 2;
 }
 
-int Main(int argc, char** argv) {
-  if (argc < 2) return Usage();
-  const std::string cmd = argv[1];
-  const Flags flags(argc, argv, 2);
+int Dispatch(const std::string& cmd, const Flags& flags) {
   if (cmd == "dataset") return CmdDataset(flags);
   if (cmd == "workload") return CmdWorkload(flags);
   if (cmd == "label") return CmdLabel(flags);
@@ -488,7 +609,52 @@ int Main(int argc, char** argv) {
   if (cmd == "generate") return CmdGenerate(flags);
   if (cmd == "evaluate") return CmdEvaluate(flags);
   if (cmd == "estimate") return CmdEstimate(flags);
+  if (cmd == "stats") return CmdStats(flags);
   return Usage();
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string cmd = argv[1];
+  const Flags flags(argc, argv, 2);
+
+  // Global observability flags, honoured by every subcommand.
+  const std::string log_level = flags.Get("log-level");
+  if (!log_level.empty()) {
+    if (log_level == "debug") {
+      SetLogLevel(LogLevel::kDebug);
+    } else if (log_level == "info") {
+      SetLogLevel(LogLevel::kInfo);
+    } else if (log_level == "warn") {
+      SetLogLevel(LogLevel::kWarn);
+    } else if (log_level == "error") {
+      SetLogLevel(LogLevel::kError);
+    } else {
+      return Fail("unknown --log-level '" + log_level +
+                  "' (debug|info|warn|error)");
+    }
+  }
+  const std::string trace_out = flags.Get("trace-out");
+  const std::string metrics_out = flags.Get("metrics-out");
+  if (!trace_out.empty()) {
+    obs::EnableTracing(true);
+    obs::Tracer::Global().Reset();
+  }
+  if (!metrics_out.empty()) obs::EnableMetrics(true);
+
+  int rc = Dispatch(cmd, flags);
+
+  // Flush observability output even when the command failed: a partial trace
+  // is exactly what is needed to debug the failure.
+  if (!trace_out.empty()) {
+    const Status st = obs::Tracer::Global().WriteChromeTrace(trace_out);
+    if (!st.ok() && rc == 0) rc = FailStatus(st);
+  }
+  if (!metrics_out.empty()) {
+    const Status st = obs::MetricsRegistry::Global().WriteJson(metrics_out);
+    if (!st.ok() && rc == 0) rc = FailStatus(st);
+  }
+  return rc;
 }
 
 }  // namespace
