@@ -10,6 +10,7 @@
 #include "common/logging.h"
 #include "datasets/datasets.h"
 #include "engine/executor.h"
+#include "linalg/kernels.h"
 #include "sam/sam_model.h"
 #include "workload/generator.h"
 
@@ -58,12 +59,110 @@ void BM_MadeCondProbs(benchmark::State& state) {
   const size_t batch = static_cast<size_t>(state.range(0));
   MadeModel::SamplerState s = f.model->InitState(batch);
   for (auto _ : state) {
-    const Matrix probs = f.model->CondProbs(s, 0);
+    const Matrix& probs = f.model->CondProbs(s, 0);
     benchmark::DoNotOptimize(probs.data());
   }
   state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(batch));
 }
 BENCHMARK(BM_MadeCondProbs)->Arg(64)->Arg(512)->Arg(2048);
+
+// Sampler state with every column but the last observed (random in-domain
+// codes): the hidden activations are dense the way they are mid-generation.
+// A fresh InitState has pre1 == bias == 0, so benchmarking column 0 on it
+// only exercises the zero-skip path of the matmul.
+MadeModel::SamplerState ObservedState(const CensusFixture& f, size_t batch) {
+  MadeModel::SamplerState s = f.model->InitState(batch);
+  Rng rng(99);
+  std::vector<int32_t> codes(batch);
+  for (size_t col = 0; col + 1 < f.schema->num_columns(); ++col) {
+    const int64_t dom =
+        static_cast<int64_t>(f.schema->columns()[col].domain_size);
+    for (auto& c : codes) c = static_cast<int32_t>(rng.UniformInt(0, dom - 1));
+    f.model->Observe(&s, col, codes);
+  }
+  return s;
+}
+
+// Same forward pass, backend pinned per benchmark: the scalar/AVX2 delta is
+// the headline number of docs/PERFORMANCE.md. The AVX2 variant reports an
+// error and exits early when the build or CPU lacks AVX2.
+void BM_MadeCondProbsBackend(benchmark::State& state, kernels::Backend b) {
+  if (b == kernels::Backend::kAvx2 && !kernels::Avx2Available()) {
+    state.SkipWithError("AVX2 unavailable");
+    return;
+  }
+  auto& f = Fixture();
+  const kernels::Backend saved = kernels::ActiveBackend();
+  kernels::SetBackend(b);
+  const size_t batch = static_cast<size_t>(state.range(0));
+  const MadeModel::SamplerState s = ObservedState(f, batch);
+  const size_t last_col = f.schema->num_columns() - 1;
+  for (auto _ : state) {
+    const Matrix& probs = f.model->CondProbs(s, last_col);
+    benchmark::DoNotOptimize(probs.data());
+  }
+  kernels::SetBackend(saved);
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(batch));
+}
+void BM_MadeCondProbsScalar(benchmark::State& state) {
+  BM_MadeCondProbsBackend(state, kernels::Backend::kScalar);
+}
+void BM_MadeCondProbsAvx2(benchmark::State& state) {
+  BM_MadeCondProbsBackend(state, kernels::Backend::kAvx2);
+}
+BENCHMARK(BM_MadeCondProbsScalar)->Arg(512)->Arg(2048);
+BENCHMARK(BM_MadeCondProbsAvx2)->Arg(512)->Arg(2048);
+
+void BM_KernelMatmul(benchmark::State& state, kernels::Backend b) {
+  if (b == kernels::Backend::kAvx2 && !kernels::Avx2Available()) {
+    state.SkipWithError("AVX2 unavailable");
+    return;
+  }
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<double> a(n * n, 1.5), bm(n * n, -0.75), c(n * n);
+  const auto& table = kernels::Table(b);
+  for (auto _ : state) {
+    table.matmul(a.data(), n, n, bm.data(), n, c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(2 * n * n * n));
+}
+void BM_KernelMatmulScalar(benchmark::State& state) {
+  BM_KernelMatmul(state, kernels::Backend::kScalar);
+}
+void BM_KernelMatmulAvx2(benchmark::State& state) {
+  BM_KernelMatmul(state, kernels::Backend::kAvx2);
+}
+BENCHMARK(BM_KernelMatmulScalar)->Arg(64)->Arg(256);
+BENCHMARK(BM_KernelMatmulAvx2)->Arg(64)->Arg(256);
+
+// Word-level bitmap predicate evaluation against a census-sized code column.
+void BM_EvalPredicates(benchmark::State& state, kernels::Backend b) {
+  if (b == kernels::Backend::kAvx2 && !kernels::Avx2Available()) {
+    state.SkipWithError("AVX2 unavailable");
+    return;
+  }
+  auto& f = Fixture();
+  const kernels::Backend saved = kernels::ActiveBackend();
+  kernels::SetBackend(b);
+  size_t q = 0;
+  for (auto _ : state) {
+    auto card = f.exec->Cardinality(f.train[q % f.train.size()]);
+    SAM_CHECK(card.ok());
+    benchmark::DoNotOptimize(card.ValueOrDie());
+    ++q;
+  }
+  kernels::SetBackend(saved);
+}
+void BM_EvalPredicatesScalar(benchmark::State& state) {
+  BM_EvalPredicates(state, kernels::Backend::kScalar);
+}
+void BM_EvalPredicatesAvx2(benchmark::State& state) {
+  BM_EvalPredicates(state, kernels::Backend::kAvx2);
+}
+BENCHMARK(BM_EvalPredicatesScalar);
+BENCHMARK(BM_EvalPredicatesAvx2);
 
 void BM_MadeObserve(benchmark::State& state) {
   auto& f = Fixture();

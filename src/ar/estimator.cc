@@ -23,6 +23,8 @@ double ProgressiveEstimator::EstimateCompiled(const CompiledQuery& cq) {
       obs::MetricsRegistry::Global().GetCounter("sam.estimator.queries");
   static obs::Counter* paths_run =
       obs::MetricsRegistry::Global().GetCounter("sam.estimator.paths");
+  static obs::Counter* dead_fanout = obs::MetricsRegistry::Global().GetCounter(
+      "sam.estimator.dead_fanout_paths");
   queries->Add(1);
   paths_run->Add(paths_);
   const ModelSchema& schema = model_->schema();
@@ -36,28 +38,30 @@ double ProgressiveEstimator::EstimateCompiled(const CompiledQuery& cq) {
 
   for (size_t col = 0; col < n_cols; ++col) {
     const ModelColumn& mc = schema.columns()[col];
-    const Matrix probs = model_->CondProbs(state, col);
+    const Matrix& probs = model_->CondProbs(state, col);
     const auto& allow = cq.allow[col];
     const bool constrained = !allow.empty();
+    // Scratch sized once per column; the per-path loop only overwrites it
+    // (the old per-row assign() re-filled the vector batch times per column).
+    if (constrained) weights.resize(mc.domain_size);
     for (size_t r = 0; r < batch; ++r) {
       const double* pr = probs.row(r);
       if (constrained) {
+        // One pass builds the masked sampling weights while accumulating the
+        // in-range mass; if that mass is zero the path is dead (selectivity
+        // 0) and any in-range value keeps the trajectory well-defined.
         double p_in = 0.0;
-        for (size_t j = 0; j < mc.domain_size; ++j) {
-          if (allow[j]) p_in += pr[j];
-        }
-        path_sel[r] *= p_in;
-        // Sample an in-range value proportionally to the conditional; if the
-        // in-range mass is zero the path is dead (selectivity 0) and any
-        // in-range value keeps the trajectory well-defined.
-        weights.assign(mc.domain_size, 0.0);
         bool any = false;
         for (size_t j = 0; j < mc.domain_size; ++j) {
           if (allow[j]) {
+            p_in += pr[j];
             weights[j] = pr[j];
             any = any || pr[j] > 0.0;
+          } else {
+            weights[j] = 0.0;
           }
         }
+        path_sel[r] *= p_in;
         if (!any) {
           for (size_t j = 0; j < mc.domain_size; ++j) {
             weights[j] = allow[j] ? 1.0 : 0.0;
@@ -67,13 +71,22 @@ double ProgressiveEstimator::EstimateCompiled(const CompiledQuery& cq) {
         if (pick < 0) pick = 0;  // Fully-empty mask: arbitrary placeholder.
         codes[r] = static_cast<int32_t>(pick);
       } else {
-        weights.assign(pr, pr + mc.domain_size);
-        int64_t pick = rng_.Categorical(weights);
+        // Unconstrained: sample straight from the probability row.
+        int64_t pick = rng_.Categorical(pr, mc.domain_size);
         if (pick < 0) pick = 0;
         codes[r] = static_cast<int32_t>(pick);
       }
       if (mc.kind == ModelColumnKind::kFanout && cq.scale_fanout[col]) {
-        path_sel[r] /= static_cast<double>(mc.FanoutValueOf(codes[r]));
+        // Guard the division: FanoutValueOf is code+1 > 0 for every valid
+        // code today, but a corrupt or future re-mapped code must not turn
+        // the whole estimate into inf/NaN — kill just this path and count it.
+        const int64_t fv = mc.FanoutValueOf(codes[r]);
+        if (fv <= 0) {
+          dead_fanout->Add(1);
+          path_sel[r] = 0.0;
+        } else {
+          path_sel[r] /= static_cast<double>(fv);
+        }
       }
     }
     model_->Observe(&state, col, codes);

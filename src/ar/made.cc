@@ -5,6 +5,7 @@
 
 #include "autodiff/ops.h"
 #include "common/logging.h"
+#include "linalg/kernels.h"
 #include "obs/metrics_registry.h"
 #include "storage/artifact_io.h"
 
@@ -154,14 +155,16 @@ MadeModel::MaskedWeights MadeModel::BuildMaskedWeights() const {
 Tensor MadeModel::Hidden(const MaskedWeights& mw, const Tensor& input) const {
   Tensor h = input;
   for (size_t l = 0; l < mw.w.size(); ++l) {
-    Tensor next = ad::Relu(ad::AddRowBroadcast(ad::Matmul(h, mw.w[l]), biases_[l]));
+    Tensor pre = ad::Matmul(h, mw.w[l]);
     // Residual connections between equal-width hidden layers (ResMADE). The
     // hidden-degree assignment is identical across layers, so the skip path
-    // preserves the autoregressive masking.
-    if (options_.residual && l > 0 && next.cols() == h.cols()) {
-      next = ad::Add(next, h);
+    // preserves the autoregressive masking. The fused op does
+    // relu(pre + bias) (+ skip) in one pass over the activations.
+    if (options_.residual && l > 0 && pre.cols() == h.cols()) {
+      h = ad::BiasReluSkip(pre, biases_[l], h);
+    } else {
+      h = ad::BiasRelu(pre, biases_[l]);
     }
-    h = next;
   }
   return h;
 }
@@ -217,7 +220,8 @@ MadeModel::SamplerState MadeModel::InitState(size_t batch) const {
   return s;
 }
 
-Matrix MadeModel::CondProbs(const SamplerState& state, size_t col) const {
+const Matrix& MadeModel::CondProbs(const SamplerState& state,
+                                   size_t col) const {
   SAM_CHECK(sampler_synced_);
   static obs::Counter* calls =
       obs::MetricsRegistry::Global().GetCounter("sam.made.cond_probs");
@@ -226,59 +230,44 @@ Matrix MadeModel::CondProbs(const SamplerState& state, size_t col) const {
   calls->Add(1);
   rows->Add(state.batch);
   const size_t batch = state.batch;
-  // Hidden stack from the accumulated first-layer pre-activation.
-  Matrix h(batch, options_.hidden_sizes[0]);
-  for (size_t i = 0; i < h.size(); ++i) {
-    h.data()[i] = std::max(0.0, state.pre1.data()[i]);
-  }
+  const kernels::KernelTable& kr = kernels::Active();
+  // Hidden stack from the accumulated first-layer pre-activation, built in
+  // the state-owned scratch (every kernel below fully overwrites its output,
+  // so Reshape's unspecified contents are fine).
+  Matrix& h = state.h;
+  h.Reshape(batch, options_.hidden_sizes[0]);
+  kr.relu(state.pre1.data(), h.data(), h.size());
   for (size_t l = 1; l < cached_w_.size(); ++l) {
-    Matrix next = Matrix::Multiply(h, cached_w_[l]);
-    const double* bias = biases_[l].value().data();
+    Matrix& next = state.h_next;
+    next.Reshape(batch, cached_w_[l].cols());
+    // Dense variant: hidden activations are ~half nonzero mid-generation, and
+    // at that density the zero-skip's branch mispredicts cost more than the
+    // work skipped (the skip is for the one-hot training inputs).
+    kr.matmul_dense(h.data(), batch, h.cols(), cached_w_[l].data(),
+                    cached_w_[l].cols(), next.data());
     const bool skip = options_.residual && next.cols() == h.cols();
-    for (size_t r = 0; r < batch; ++r) {
-      double* row = next.row(r);
-      const double* prev = h.row(r);
-      for (size_t c = 0; c < next.cols(); ++c) {
-        row[c] = std::max(0.0, row[c] + bias[c]);
-        if (skip) row[c] += prev[c];
-      }
-    }
-    h = std::move(next);
+    kr.bias_relu_skip(next.data(), biases_[l].value().data(),
+                      skip ? h.data() : nullptr, batch, next.cols());
+    std::swap(state.h, state.h_next);
   }
   const ModelColumn& mc = schema_->columns()[col];
   const size_t off = mc.offset;
   const size_t d = mc.domain_size;
-  Matrix logits(batch, d);
-  // Output slice: logits = h * W_out[:, off:off+d] + b_out[off:off+d] (+ direct).
-  const double* b_out = b_out_.value().data();
-  for (size_t r = 0; r < batch; ++r) {
-    const double* hr = h.row(r);
-    double* lr = logits.row(r);
-    for (size_t j = 0; j < d; ++j) lr[j] = b_out[off + j];
-    for (size_t k = 0; k < h.cols(); ++k) {
-      const double hv = hr[k];
-      if (hv == 0.0) continue;
-      const double* wrow = cached_w_out_.row(k) + off;
-      for (size_t j = 0; j < d; ++j) lr[j] += hv * wrow[j];
-    }
-    if (options_.direct_connections) {
-      const double* dr = state.direct.row(r) + off;
-      for (size_t j = 0; j < d; ++j) lr[j] += dr[j];
-    }
-  }
-  // Row softmax.
-  for (size_t r = 0; r < batch; ++r) {
-    double* lr = logits.row(r);
-    double mx = lr[0];
-    for (size_t j = 1; j < d; ++j) mx = std::max(mx, lr[j]);
-    double sum = 0.0;
-    for (size_t j = 0; j < d; ++j) {
-      lr[j] = std::exp(lr[j] - mx);
-      sum += lr[j];
-    }
-    const double inv = 1.0 / sum;
-    for (size_t j = 0; j < d; ++j) lr[j] *= inv;
-  }
+  Matrix& logits = state.probs;
+  logits.Reshape(batch, d);
+  // Fused output slice: logits = h * W_out[:, off:off+d] + b_out[off:off+d]
+  // (+ direct). W_out and the direct accumulator are indexed at their full
+  // row stride; the kernel reads only the d-wide slice of each row.
+  kr.output_slice(state.h.data(), batch, state.h.cols(),
+                  cached_w_out_.data() + off, cached_w_out_.cols(),
+                  b_out_.value().data() + off,
+                  options_.direct_connections ? state.direct.data() + off
+                                              : nullptr,
+                  options_.direct_connections ? state.direct.cols() : 0,
+                  logits.data(), d);
+  // Row softmax through the kernel layer (shared FastExp keeps the two
+  // backends bit-identical; libm's std::exp makes no such promise).
+  kr.softmax_rows(logits.data(), batch, d);
   return logits;
 }
 
@@ -294,13 +283,10 @@ void MadeModel::Observe(SamplerState* state, size_t col,
     SAM_CHECK(code >= 0 && static_cast<size_t>(code) < mc.domain_size)
         << "bad code " << code << " for column " << mc.name;
     const size_t unit = mc.offset + static_cast<size_t>(code);
-    const double* w1_row = cached_w_[0].row(unit);
-    double* pre = state->pre1.row(r);
-    for (size_t k = 0; k < h1; ++k) pre[k] += w1_row[k];
+    kernels::Active().vec_add(state->pre1.row(r), cached_w_[0].row(unit), h1);
     if (options_.direct_connections) {
-      const double* wd_row = cached_w_direct_.row(unit);
-      double* dir = state->direct.row(r);
-      for (size_t k = 0; k < d_total; ++k) dir[k] += wd_row[k];
+      kernels::Active().vec_add(state->direct.row(r),
+                                cached_w_direct_.row(unit), d_total);
     }
   }
 }

@@ -80,13 +80,23 @@ class MadeModel {
     Matrix pre1;           ///< B x H1 (bias included).
     Matrix direct;         ///< B x total_domain (empty if disabled).
     size_t batch = 0;
+    /// Forward-pass scratch owned by the state so CondProbs allocates nothing
+    /// per call (at generation batch sizes a fresh Matrix is an mmap + page
+    /// faults + munmap every forward). `mutable` because the scratch is not
+    /// part of the state's logical value; states are per-batch, so the
+    /// sampler's batch-parallelism never shares one across threads.
+    mutable Matrix h;       ///< Hidden activations in flight.
+    mutable Matrix h_next;  ///< Next hidden layer (swapped with `h`).
+    mutable Matrix probs;   ///< CondProbs result (B x domain(col)).
   };
 
   SamplerState InitState(size_t batch) const;
 
   /// Conditional distribution P(col | observed prefix) for every batch row:
-  /// B x domain(col), rows sum to 1.
-  Matrix CondProbs(const SamplerState& state, size_t col) const;
+  /// B x domain(col), rows sum to 1. The returned reference points into
+  /// `state` scratch — it is valid until the next CondProbs call on the same
+  /// state (copy it to keep it longer).
+  const Matrix& CondProbs(const SamplerState& state, size_t col) const;
 
   /// Feeds the sampled codes of `col` into the state accumulators.
   void Observe(SamplerState* state, size_t col,

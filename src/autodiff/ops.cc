@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/logging.h"
+#include "linalg/kernels.h"
 
 namespace sam::ad {
 
@@ -174,6 +175,59 @@ Tensor Relu(const Tensor& a) {
                   }
                 },
                 "relu");
+}
+
+namespace {
+
+// Shared backward for the fused bias+relu ops. The relu mask is recomputed
+// from the parents' stored values as (a + bias) > 0 — exact, because the
+// forward applied relu to exactly that sum — so the forward never has to
+// stash pre-activations. `skip_node` is null for the skip-less variant.
+void BiasReluBackward(TensorNode& n) {
+  TensorNode* an = n.parents[0].get();
+  TensorNode* bn = n.parents[1].get();
+  TensorNode* sn = n.parents.size() > 2 ? n.parents[2].get() : nullptr;
+  const size_t rows = n.grad.rows();
+  const size_t cols = n.grad.cols();
+  if (an->requires_grad) an->EnsureGrad();
+  if (bn->requires_grad) bn->EnsureGrad();
+  const double* bias = bn->value.data();
+  for (size_t r = 0; r < rows; ++r) {
+    const double* g = n.grad.row(r);
+    const double* av = an->value.row(r);
+    double* ag = an->requires_grad ? an->grad.row(r) : nullptr;
+    double* bg = bn->requires_grad ? bn->grad.data() : nullptr;
+    for (size_t c = 0; c < cols; ++c) {
+      if (av[c] + bias[c] > 0.0) {
+        if (ag != nullptr) ag[c] += g[c];
+        if (bg != nullptr) bg[c] += g[c];
+      }
+    }
+  }
+  // The skip branch bypasses the relu, so it sees the full gradient.
+  if (sn != nullptr && sn->requires_grad) AccumulateInto(sn, n.grad);
+}
+
+}  // namespace
+
+Tensor BiasRelu(const Tensor& a, const Tensor& bias) {
+  SAM_CHECK_EQ(bias.rows(), 1u);
+  SAM_CHECK_EQ(a.cols(), bias.cols());
+  Matrix v = a.value();
+  kernels::Active().bias_relu_skip(v.data(), bias.value().data(),
+                                   /*skip=*/nullptr, v.rows(), v.cols());
+  return MakeOp(std::move(v), {a, bias}, BiasReluBackward, "bias_relu");
+}
+
+Tensor BiasReluSkip(const Tensor& a, const Tensor& bias, const Tensor& skip) {
+  SAM_CHECK_EQ(bias.rows(), 1u);
+  SAM_CHECK_EQ(a.cols(), bias.cols());
+  SAM_CHECK(a.rows() == skip.rows() && a.cols() == skip.cols());
+  Matrix v = a.value();
+  kernels::Active().bias_relu_skip(v.data(), bias.value().data(),
+                                   skip.value().data(), v.rows(), v.cols());
+  return MakeOp(std::move(v), {a, bias, skip}, BiasReluBackward,
+                "bias_relu_skip");
 }
 
 Tensor Softmax(const Tensor& a) {

@@ -26,6 +26,15 @@ Tensor Matmul(const Tensor& a, const Tensor& b);
 /// Rectified linear unit.
 Tensor Relu(const Tensor& a);
 
+/// Fused relu(a + bias) for a B x D tensor `a` and 1 x D row vector `bias`.
+/// One pass over the data instead of the AddRowBroadcast + Relu pair; the
+/// forward runs through the SIMD kernel layer.
+Tensor BiasRelu(const Tensor& a, const Tensor& bias);
+
+/// Fused relu(a + bias) + skip, the MADE residual-hidden-layer body. `a` and
+/// `skip` are B x D, `bias` is 1 x D.
+Tensor BiasReluSkip(const Tensor& a, const Tensor& bias, const Tensor& skip);
+
 /// Row-wise softmax over the full width of `a`.
 Tensor Softmax(const Tensor& a);
 

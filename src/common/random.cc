@@ -61,16 +61,16 @@ int64_t Rng::Zipf(int64_t n, double s) {
   }
 }
 
-int64_t Rng::Categorical(const std::vector<double>& weights) {
+int64_t Rng::Categorical(const double* weights, size_t n) {
   double total = 0.0;
-  for (double w : weights) total += w;
+  for (size_t i = 0; i < n; ++i) total += weights[i];
   if (total <= 0.0) return -1;
   double r = Uniform() * total;
-  for (size_t i = 0; i < weights.size(); ++i) {
+  for (size_t i = 0; i < n; ++i) {
     r -= weights[i];
     if (r <= 0.0) return static_cast<int64_t>(i);
   }
-  return static_cast<int64_t>(weights.size()) - 1;
+  return static_cast<int64_t>(n) - 1;
 }
 
 }  // namespace sam

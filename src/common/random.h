@@ -60,7 +60,15 @@ class Rng {
 
   /// Samples an index from an (unnormalised, non-negative) weight vector.
   /// Returns -1 when every weight is zero.
-  int64_t Categorical(const std::vector<double>& weights);
+  int64_t Categorical(const std::vector<double>& weights) {
+    return Categorical(weights.data(), weights.size());
+  }
+
+  /// Pointer form of Categorical: samples directly from `weights[0..n)`
+  /// without requiring the caller to copy into a vector first. Hot-loop
+  /// callers (FOJ sampling, progressive estimation) pass model probability
+  /// rows straight through.
+  int64_t Categorical(const double* weights, size_t n);
 
   /// Bernoulli trial with probability `p`.
   bool Bernoulli(double p) {

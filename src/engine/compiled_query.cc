@@ -1,6 +1,9 @@
 #include "engine/compiled_query.h"
 
 #include <algorithm>
+#include <bit>
+
+#include "linalg/kernels.h"
 
 namespace sam {
 
@@ -57,30 +60,52 @@ Result<CodePredicate> CompilePredicate(const Table& table, const Predicate& pred
       break;
     }
   }
+  // Canonicalise unsatisfiable predicates. kLe/kLt with a literal below the
+  // dictionary minimum produce hi = -1 (and kGe/kGt above the maximum produce
+  // lo = dict_size), which only evaluated correctly because lo >= 0 made the
+  // signed compare against kNullCode fail; an IN list with no resolvable
+  // literal left an empty set behind. All of them become the single canonical
+  // empty range {lo=1, hi=0}, so downstream code (including the word-level
+  // bitmap kernels) can rely on lo >= 0 and on lo > hi meaning "matches
+  // nothing" without special cases.
+  if (out.use_set && out.code_set.empty()) {
+    out.use_set = false;
+    out.lo = 1;
+    out.hi = 0;
+  } else if (!out.use_set && out.lo > out.hi) {
+    out.lo = 1;
+    out.hi = 0;
+  }
   return out;
 }
 
 namespace engine {
 
-void RelationPlan::EvalPredicates(std::vector<char>* sat) const {
-  sat->assign(table->num_rows(), 1);
-  char* bits = sat->data();
+void RelationPlan::EvalPredicates(Bitmap* sat) const {
+  sat->ResetAllSet(table->num_rows());
   for (const CodePredicate& cp : predicates) {
     const int32_t* codes = table->column(cp.column_index).codes().data();
-    const size_t n = sat->size();
     if (cp.use_set) {
-      for (size_t r = 0; r < n; ++r) {
-        if (bits[r] && !cp.Matches(codes[r])) bits[r] = 0;
+      // Walk only the bits still set; each surviving row pays one binary
+      // search. Rows already rejected by an earlier (cheaper) range predicate
+      // are never touched.
+      uint64_t* words = sat->words();
+      for (size_t w = 0; w < sat->num_words(); ++w) {
+        uint64_t remaining = words[w];
+        while (remaining != 0) {
+          const unsigned b = static_cast<unsigned>(std::countr_zero(remaining));
+          remaining &= remaining - 1;
+          if (!cp.Matches(codes[w * 64 + b])) {
+            words[w] &= ~(uint64_t{1} << b);
+          }
+        }
       }
     } else {
-      // Range predicate: codes below `lo` include kNullCode, so NULL rows are
-      // rejected by the same compare (lo >= 0 always).
-      const int32_t lo = cp.lo;
-      const int32_t hi = cp.hi;
-      for (size_t r = 0; r < n; ++r) {
-        const int32_t c = codes[r];
-        bits[r] = static_cast<char>(bits[r] & (c >= lo) & (c <= hi));
-      }
+      // Range predicate: one AND of a word-level compare mask. kNullCode is
+      // negative and lo >= 0 (canonical form), so NULL rows are rejected by
+      // the same signed compare.
+      kernels::Active().range_mask_and(sat->words(), codes, sat->size(), cp.lo,
+                                       cp.hi);
     }
   }
 }

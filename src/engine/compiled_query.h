@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "engine/bitmap.h"
 #include "query/query.h"
 #include "storage/database.h"
 #include "storage/join_graph.h"
@@ -17,12 +18,17 @@ namespace sam {
 ///
 /// Dictionary order equals value order, so range predicates compile to code
 /// ranges and row evaluation is a pair of integer compares.
+///
+/// Invariants (established by CompilePredicate): `lo >= 0`; an unsatisfiable
+/// predicate is always the canonical empty range `lo=1, hi=0` with
+/// `use_set=false` (empty IN lists normalise to it too), so `lo > hi` iff the
+/// predicate matches nothing.
 struct CodePredicate {
   size_t column_index = 0;
   int32_t lo = 0;            ///< Inclusive lower code bound.
   int32_t hi = 0;            ///< Inclusive upper code bound.
   bool use_set = false;
-  std::vector<int32_t> code_set;  ///< Sorted codes, for kIn.
+  std::vector<int32_t> code_set;  ///< Sorted codes, for kIn (never empty).
 
   bool Matches(int32_t code) const;
 };
@@ -40,8 +46,10 @@ struct RelationPlan {
   std::vector<CodePredicate> predicates;
 
   /// Evaluates the conjunction directly over the dictionary codes into `sat`
-  /// (resized to the table's row count). No per-row Value construction.
-  void EvalPredicates(std::vector<char>* sat) const;
+  /// (reset to the table's row count, all bits set). Range predicates AND
+  /// word-level masks via the SIMD kernel layer; IN-list predicates walk only
+  /// the bits still set. No per-row Value construction.
+  void EvalPredicates(Bitmap* sat) const;
 };
 
 /// \brief A query compiled once against a concrete database.
@@ -75,7 +83,7 @@ class CompiledQuery {
 /// thread owns exactly one scratch.
 struct EvalScratch {
   /// Per relation: predicate-satisfaction bitmap of the current query.
-  std::unordered_map<std::string, std::vector<char>> sat;
+  std::unordered_map<std::string, Bitmap> sat;
   /// Per relation: bottom-up subtree weight buffer.
   std::unordered_map<std::string, std::vector<double>> weights;
   /// Per join edge (keyed by child relation): dense aggregation buckets.

@@ -89,9 +89,8 @@ Status Executor::SubtreeWeights(const std::string& table,
   std::vector<double>& w = scratch->weights[table];
   const auto sat_it = scratch->sat.find(table);
   if (sat_it != scratch->sat.end()) {
-    const char* sat = sat_it->second.data();
     w.resize(t->num_rows());
-    for (size_t r = 0; r < w.size(); ++r) w[r] = sat[r] ? 1.0 : 0.0;
+    sat_it->second.ExpandTo(w.data());
   } else {
     w.assign(t->num_rows(), 1.0);
   }
@@ -128,7 +127,11 @@ Status Executor::SubtreeWeights(const std::string& table,
 Result<int64_t> Executor::Cardinality(const engine::CompiledQuery& cq,
                                       engine::EvalScratch* scratch) const {
   for (const engine::RelationPlan& plan : cq.plans()) {
-    plan.EvalPredicates(&scratch->sat[plan.name]);
+    engine::Bitmap& sat = scratch->sat[plan.name];
+    plan.EvalPredicates(&sat);
+    // Inner-join semantics: one relation with no satisfying rows zeroes every
+    // weight upstream, so a single popcount short-circuits the whole probe.
+    if (sat.Count() == 0) return 0;
   }
   SAM_RETURN_NOT_OK(SubtreeWeights(cq.top(), cq.relations(), /*outer=*/false,
                                    scratch));

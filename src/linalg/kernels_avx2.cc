@@ -1,0 +1,417 @@
+// AVX2 kernel backend. This translation unit is compiled with `-mavx2` and
+// nothing else (no -mfma: explicit mul+add intrinsics keep every rounding
+// step identical to the scalar reference, so the two backends are
+// bit-identical — see the contract in kernels.h). It is only part of the
+// build when the SAM_SIMD CMake option is on and the compiler accepts
+// -mavx2; callers reach it exclusively through the runtime-dispatched table.
+
+#if defined(SAM_SIMD_AVX2)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <bit>
+
+#include "linalg/kernels.h"
+#include "linalg/kernels_exp.h"
+#include "linalg/kernels_smalld.h"
+
+namespace sam::kernels::internal {
+namespace {
+
+// ci[0..bc) += aik * bk[0..bc), 4/16-wide with a scalar remainder.
+inline void AxpyRow(double* ci, const double* bk, double aik, size_t bc) {
+  const __m256d va = _mm256_set1_pd(aik);
+  size_t j = 0;
+  for (; j + 16 <= bc; j += 16) {
+    __m256d c0 = _mm256_loadu_pd(ci + j);
+    __m256d c1 = _mm256_loadu_pd(ci + j + 4);
+    __m256d c2 = _mm256_loadu_pd(ci + j + 8);
+    __m256d c3 = _mm256_loadu_pd(ci + j + 12);
+    c0 = _mm256_add_pd(c0, _mm256_mul_pd(va, _mm256_loadu_pd(bk + j)));
+    c1 = _mm256_add_pd(c1, _mm256_mul_pd(va, _mm256_loadu_pd(bk + j + 4)));
+    c2 = _mm256_add_pd(c2, _mm256_mul_pd(va, _mm256_loadu_pd(bk + j + 8)));
+    c3 = _mm256_add_pd(c3, _mm256_mul_pd(va, _mm256_loadu_pd(bk + j + 12)));
+    _mm256_storeu_pd(ci + j, c0);
+    _mm256_storeu_pd(ci + j + 4, c1);
+    _mm256_storeu_pd(ci + j + 8, c2);
+    _mm256_storeu_pd(ci + j + 12, c3);
+  }
+  for (; j + 4 <= bc; j += 4) {
+    const __m256d cj = _mm256_loadu_pd(ci + j);
+    _mm256_storeu_pd(ci + j,
+                     _mm256_add_pd(cj, _mm256_mul_pd(va, _mm256_loadu_pd(bk + j))));
+  }
+  for (; j < bc; ++j) ci[j] += aik * bk[j];
+}
+
+// Row-outer like the scalar reference (see the structure note there): B stays
+// cache-resident at model shapes, so the C row in flight is the hot line.
+void Matmul(const double* a, size_t ar, size_t ac, const double* b, size_t bc,
+            double* c) {
+  std::fill(c, c + ar * bc, 0.0);
+  for (size_t i = 0; i < ar; ++i) {
+    const double* ai = a + i * ac;
+    double* ci = c + i * bc;
+    for (size_t k = 0; k < ac; ++k) {
+      const double aik = ai[k];
+      if (aik == 0.0) continue;
+      AxpyRow(ci, b + k * bc, aik, bc);
+    }
+  }
+}
+
+// Columns [j0, bc) of one dense output row: 4-wide blocks, scalar tail.
+inline void DenseRowTail(const double* ai, const double* b, size_t ac,
+                         size_t bc, double* ci, size_t j0) {
+  size_t j = j0;
+  for (; j + 4 <= bc; j += 4) {
+    __m256d acc = _mm256_setzero_pd();
+    const double* bj = b + j;
+    for (size_t k = 0; k < ac; ++k) {
+      acc = _mm256_add_pd(
+          acc, _mm256_mul_pd(_mm256_set1_pd(ai[k]), _mm256_loadu_pd(bj + k * bc)));
+    }
+    _mm256_storeu_pd(ci + j, acc);
+  }
+  for (; j < bc; ++j) {
+    double acc = 0.0;
+    for (size_t k = 0; k < ac; ++k) acc += ai[k] * b[k * bc + j];
+    ci[j] = acc;
+  }
+}
+
+// Dense (no zero-skip) variant: with every k contributing, the output can be
+// register-blocked — accumulators live across the whole k loop, eliminating
+// the per-k read-modify-write of C that the axpy structure pays. Rows are
+// processed in pairs: the k loop's add-latency chains (one per accumulator)
+// are the bottleneck, and a second row doubles the independent chains while
+// sharing each B load. Per-element accumulation stays k-ascending, matching
+// the scalar reference exactly.
+void MatmulDense(const double* a, size_t ar, size_t ac, const double* b,
+                 size_t bc, double* c) {
+  size_t i = 0;
+  for (; i + 2 <= ar; i += 2) {
+    const double* a0 = a + i * ac;
+    const double* a1 = a0 + ac;
+    double* c0 = c + i * bc;
+    double* c1 = c0 + bc;
+    size_t j = 0;
+    for (; j + 16 <= bc; j += 16) {
+      __m256d r00 = _mm256_setzero_pd(), r01 = _mm256_setzero_pd();
+      __m256d r02 = _mm256_setzero_pd(), r03 = _mm256_setzero_pd();
+      __m256d r10 = _mm256_setzero_pd(), r11 = _mm256_setzero_pd();
+      __m256d r12 = _mm256_setzero_pd(), r13 = _mm256_setzero_pd();
+      const double* bj = b + j;
+      for (size_t k = 0; k < ac; ++k) {
+        const __m256d va0 = _mm256_set1_pd(a0[k]);
+        const __m256d va1 = _mm256_set1_pd(a1[k]);
+        const double* bk = bj + k * bc;
+        const __m256d b0 = _mm256_loadu_pd(bk);
+        const __m256d b1 = _mm256_loadu_pd(bk + 4);
+        const __m256d b2 = _mm256_loadu_pd(bk + 8);
+        const __m256d b3 = _mm256_loadu_pd(bk + 12);
+        r00 = _mm256_add_pd(r00, _mm256_mul_pd(va0, b0));
+        r01 = _mm256_add_pd(r01, _mm256_mul_pd(va0, b1));
+        r02 = _mm256_add_pd(r02, _mm256_mul_pd(va0, b2));
+        r03 = _mm256_add_pd(r03, _mm256_mul_pd(va0, b3));
+        r10 = _mm256_add_pd(r10, _mm256_mul_pd(va1, b0));
+        r11 = _mm256_add_pd(r11, _mm256_mul_pd(va1, b1));
+        r12 = _mm256_add_pd(r12, _mm256_mul_pd(va1, b2));
+        r13 = _mm256_add_pd(r13, _mm256_mul_pd(va1, b3));
+      }
+      _mm256_storeu_pd(c0 + j, r00);
+      _mm256_storeu_pd(c0 + j + 4, r01);
+      _mm256_storeu_pd(c0 + j + 8, r02);
+      _mm256_storeu_pd(c0 + j + 12, r03);
+      _mm256_storeu_pd(c1 + j, r10);
+      _mm256_storeu_pd(c1 + j + 4, r11);
+      _mm256_storeu_pd(c1 + j + 8, r12);
+      _mm256_storeu_pd(c1 + j + 12, r13);
+    }
+    DenseRowTail(a0, b, ac, bc, c0, j);
+    DenseRowTail(a1, b, ac, bc, c1, j);
+  }
+  for (; i < ar; ++i) {
+    const double* ai = a + i * ac;
+    double* ci = c + i * bc;
+    size_t j = 0;
+    for (; j + 16 <= bc; j += 16) {
+      __m256d acc0 = _mm256_setzero_pd();
+      __m256d acc1 = _mm256_setzero_pd();
+      __m256d acc2 = _mm256_setzero_pd();
+      __m256d acc3 = _mm256_setzero_pd();
+      const double* bj = b + j;
+      for (size_t k = 0; k < ac; ++k) {
+        const __m256d va = _mm256_set1_pd(ai[k]);
+        const double* bk = bj + k * bc;
+        acc0 = _mm256_add_pd(acc0, _mm256_mul_pd(va, _mm256_loadu_pd(bk)));
+        acc1 = _mm256_add_pd(acc1, _mm256_mul_pd(va, _mm256_loadu_pd(bk + 4)));
+        acc2 = _mm256_add_pd(acc2, _mm256_mul_pd(va, _mm256_loadu_pd(bk + 8)));
+        acc3 = _mm256_add_pd(acc3, _mm256_mul_pd(va, _mm256_loadu_pd(bk + 12)));
+      }
+      _mm256_storeu_pd(ci + j, acc0);
+      _mm256_storeu_pd(ci + j + 4, acc1);
+      _mm256_storeu_pd(ci + j + 8, acc2);
+      _mm256_storeu_pd(ci + j + 12, acc3);
+    }
+    DenseRowTail(ai, b, ac, bc, ci, j);
+  }
+}
+
+void MatmulTa(const double* a, size_t ar, size_t ac, const double* b, size_t bc,
+              double* c) {
+  std::fill(c, c + ac * bc, 0.0);
+  for (size_t k = 0; k < ar; ++k) {
+    const double* ak = a + k * ac;
+    const double* bk = b + k * bc;
+    for (size_t i = 0; i < ac; ++i) {
+      const double aki = ak[i];
+      if (aki == 0.0) continue;
+      double* ci = c + i * bc;
+      const __m256d va = _mm256_set1_pd(aki);
+      size_t j = 0;
+      for (; j + 4 <= bc; j += 4) {
+        const __m256d cj = _mm256_loadu_pd(ci + j);
+        _mm256_storeu_pd(
+            ci + j, _mm256_add_pd(cj, _mm256_mul_pd(va, _mm256_loadu_pd(bk + j))));
+      }
+      for (; j < bc; ++j) ci[j] += aki * bk[j];
+    }
+  }
+}
+
+double Dot(const double* x, const double* y, size_t n) {
+  // One vector accumulator == the scalar reference's four stride-4 partial
+  // sums (lane l accumulates indices k % 4 == l); combined in the same
+  // ((s0+s1)+(s2+s3)) order, remainder added sequentially.
+  __m256d acc = _mm256_setzero_pd();
+  size_t k = 0;
+  for (; k + 4 <= n; k += 4) {
+    acc = _mm256_add_pd(
+        acc, _mm256_mul_pd(_mm256_loadu_pd(x + k), _mm256_loadu_pd(y + k)));
+  }
+  alignas(32) double lanes[4];
+  _mm256_store_pd(lanes, acc);
+  double s = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+  for (; k < n; ++k) s += x[k] * y[k];
+  return s;
+}
+
+void MatmulTb(const double* a, size_t ar, size_t ac, const double* b, size_t br,
+              double* c) {
+  for (size_t i = 0; i < ar; ++i) {
+    const double* ai = a + i * ac;
+    double* ci = c + i * br;
+    for (size_t j = 0; j < br; ++j) ci[j] = Dot(ai, b + j * ac, ac);
+  }
+}
+
+void BiasReluSkip(double* x, const double* bias, const double* skip,
+                  size_t rows, size_t cols) {
+  const __m256d zero = _mm256_setzero_pd();
+  for (size_t r = 0; r < rows; ++r) {
+    double* row = x + r * cols;
+    if (skip != nullptr) {
+      const double* sk = skip + r * cols;
+      size_t j = 0;
+      for (; j + 4 <= cols; j += 4) {
+        __m256d v = _mm256_add_pd(_mm256_loadu_pd(row + j),
+                                  _mm256_loadu_pd(bias + j));
+        // max_pd(v, 0): NaN -> 0, -0.0 -> +0.0, matching std::max(0.0, v).
+        v = _mm256_max_pd(v, zero);
+        v = _mm256_add_pd(v, _mm256_loadu_pd(sk + j));
+        _mm256_storeu_pd(row + j, v);
+      }
+      for (; j < cols; ++j) {
+        row[j] = std::max(0.0, row[j] + bias[j]) + sk[j];
+      }
+    } else {
+      size_t j = 0;
+      for (; j + 4 <= cols; j += 4) {
+        __m256d v = _mm256_add_pd(_mm256_loadu_pd(row + j),
+                                  _mm256_loadu_pd(bias + j));
+        _mm256_storeu_pd(row + j, _mm256_max_pd(v, zero));
+      }
+      for (; j < cols; ++j) row[j] = std::max(0.0, row[j] + bias[j]);
+    }
+  }
+}
+
+void Relu(const double* in, double* out, size_t n) {
+  const __m256d zero = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(out + i, _mm256_max_pd(_mm256_loadu_pd(in + i), zero));
+  }
+  for (; i < n; ++i) out[i] = std::max(0.0, in[i]);
+}
+
+void VecAdd(double* dst, const double* src, size_t n) {
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    _mm256_storeu_pd(dst + i, _mm256_add_pd(_mm256_loadu_pd(dst + i),
+                                            _mm256_loadu_pd(src + i)));
+    _mm256_storeu_pd(dst + i + 4, _mm256_add_pd(_mm256_loadu_pd(dst + i + 4),
+                                                _mm256_loadu_pd(src + i + 4)));
+    _mm256_storeu_pd(dst + i + 8, _mm256_add_pd(_mm256_loadu_pd(dst + i + 8),
+                                                _mm256_loadu_pd(src + i + 8)));
+    _mm256_storeu_pd(dst + i + 12, _mm256_add_pd(_mm256_loadu_pd(dst + i + 12),
+                                                 _mm256_loadu_pd(src + i + 12)));
+  }
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(dst + i, _mm256_add_pd(_mm256_loadu_pd(dst + i),
+                                            _mm256_loadu_pd(src + i)));
+  }
+  for (; i < n; ++i) dst[i] += src[i];
+}
+
+void OutputSlice(const double* h, size_t rows, size_t hc, const double* w,
+                 size_t w_stride, const double* bias, const double* direct,
+                 size_t direct_stride, double* out, size_t d) {
+  // Narrow columns take the same shared register-accumulating path as the
+  // scalar backend (the 4-wide loops below are all remainder for d <= 4).
+  if (TryOutputSliceSmall(h, rows, hc, w, w_stride, bias, direct,
+                          direct_stride, out, d)) {
+    return;
+  }
+  // Row-outer traversal, same structure as the scalar backend.
+  for (size_t r = 0; r < rows; ++r) {
+    const double* hr = h + r * hc;
+    double* lr = out + r * d;
+    size_t j = 0;
+    for (; j + 4 <= d; j += 4) {
+      _mm256_storeu_pd(lr + j, _mm256_loadu_pd(bias + j));
+    }
+    for (; j < d; ++j) lr[j] = bias[j];
+    for (size_t k = 0; k < hc; ++k) {
+      const double hv = hr[k];
+      if (hv == 0.0) continue;
+      AxpyRow(lr, w + k * w_stride, hv, d);
+    }
+    if (direct != nullptr) {
+      const double* dr = direct + r * direct_stride;
+      size_t c = 0;
+      for (; c + 4 <= d; c += 4) {
+        _mm256_storeu_pd(lr + c, _mm256_add_pd(_mm256_loadu_pd(lr + c),
+                                               _mm256_loadu_pd(dr + c)));
+      }
+      for (; c < d; ++c) lr[c] += dr[c];
+    }
+  }
+}
+
+// 4-wide FastExp mirroring kernels_exp.h operation for operation: same
+// clamps (max/min select semantics), same reduction, same Horner sequences,
+// same div, same exponent assembly. No FMA anywhere.
+inline __m256d FastExpVec(__m256d x) {
+  x = _mm256_max_pd(_mm256_set1_pd(kExpClampLo), x);
+  x = _mm256_min_pd(_mm256_set1_pd(kExpClampHi), x);
+  const __m256d n = _mm256_round_pd(
+      _mm256_mul_pd(x, _mm256_set1_pd(kExpLog2E)),
+      _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+  const __m256d r = _mm256_sub_pd(
+      _mm256_sub_pd(x, _mm256_mul_pd(n, _mm256_set1_pd(kExpLn2Hi))),
+      _mm256_mul_pd(n, _mm256_set1_pd(kExpLn2Lo)));
+  const __m256d rr = _mm256_mul_pd(r, r);
+  __m256d p = _mm256_add_pd(_mm256_mul_pd(_mm256_set1_pd(kExpP0), rr),
+                            _mm256_set1_pd(kExpP1));
+  p = _mm256_add_pd(_mm256_mul_pd(p, rr), _mm256_set1_pd(kExpP2));
+  p = _mm256_mul_pd(r, p);
+  __m256d q = _mm256_add_pd(_mm256_mul_pd(_mm256_set1_pd(kExpQ0), rr),
+                            _mm256_set1_pd(kExpQ1));
+  q = _mm256_add_pd(_mm256_mul_pd(q, rr), _mm256_set1_pd(kExpQ2));
+  q = _mm256_add_pd(_mm256_mul_pd(q, rr), _mm256_set1_pd(kExpQ3));
+  const __m256d e = _mm256_add_pd(
+      _mm256_set1_pd(1.0),
+      _mm256_mul_pd(_mm256_set1_pd(2.0),
+                    _mm256_div_pd(p, _mm256_sub_pd(q, p))));
+  // 2^n: |n| <= 1023 fits int32; widen to int64 lanes and shift into the
+  // exponent field.
+  const __m256i n64 = _mm256_cvtepi32_epi64(_mm256_cvtpd_epi32(n));
+  const __m256i bits =
+      _mm256_slli_epi64(_mm256_add_epi64(n64, _mm256_set1_epi64x(1023)), 52);
+  return _mm256_mul_pd(e, _mm256_castsi256_pd(bits));
+}
+
+void SoftmaxRows(double* x, size_t rows, size_t d) {
+  for (size_t r = 0; r < rows; ++r) {
+    double* row = x + r * d;
+    double mx = row[0];
+    for (size_t j = 1; j < d; ++j) mx = (mx > row[j]) ? mx : row[j];
+    const __m256d vmx = _mm256_set1_pd(mx);
+    __m256d acc = _mm256_setzero_pd();
+    size_t j = 0;
+    for (; j + 4 <= d; j += 4) {
+      const __m256d v = FastExpVec(_mm256_sub_pd(_mm256_loadu_pd(row + j), vmx));
+      _mm256_storeu_pd(row + j, v);
+      acc = _mm256_add_pd(acc, v);
+    }
+    alignas(32) double lanes[4];
+    _mm256_store_pd(lanes, acc);
+    double sum = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+    for (; j < d; ++j) sum += row[j] = FastExp(row[j] - mx);
+    const double inv = 1.0 / sum;
+    const __m256d vinv = _mm256_set1_pd(inv);
+    size_t c = 0;
+    for (; c + 4 <= d; c += 4) {
+      _mm256_storeu_pd(row + c, _mm256_mul_pd(_mm256_loadu_pd(row + c), vinv));
+    }
+    for (; c < d; ++c) row[c] *= inv;
+  }
+}
+
+void RangeMaskAnd(uint64_t* words, const int32_t* codes, size_t n, int32_t lo,
+                  int32_t hi) {
+  const __m256i vlo = _mm256_set1_epi32(lo);
+  const __m256i vhi = _mm256_set1_epi32(hi);
+  const size_t full = n / 64;
+  for (size_t wi = 0; wi < full; ++wi) {
+    const int32_t* c = codes + wi * 64;
+    uint64_t m = 0;
+    for (size_t g = 0; g < 8; ++g) {
+      const __m256i vc =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(c + g * 8));
+      // In range <=> !(c < lo) && !(c > hi); signed compares, so kNullCode
+      // (-1) never matches a canonical lo >= 0 range.
+      const __m256i lt = _mm256_cmpgt_epi32(vlo, vc);
+      const __m256i gt = _mm256_cmpgt_epi32(vc, vhi);
+      const int outside =
+          _mm256_movemask_ps(_mm256_castsi256_ps(_mm256_or_si256(lt, gt)));
+      m |= static_cast<uint64_t>(static_cast<uint8_t>(~outside)) << (g * 8);
+    }
+    words[wi] &= m;
+  }
+  const size_t rem = n % 64;
+  if (rem != 0) {
+    const int32_t* c = codes + full * 64;
+    uint64_t m = 0;
+    for (size_t b = 0; b < rem; ++b) {
+      m |= static_cast<uint64_t>(c[b] >= lo && c[b] <= hi) << b;
+    }
+    words[full] &= m;
+  }
+}
+
+uint64_t BitmapPopcount(const uint64_t* words, size_t nwords) {
+  uint64_t total = 0;
+  for (size_t w = 0; w < nwords; ++w) {
+    total += static_cast<uint64_t>(std::popcount(words[w]));
+  }
+  return total;
+}
+
+}  // namespace
+
+// `extern` forces external linkage: a namespace-scope const otherwise gets
+// internal linkage and the dispatcher's declaration would not resolve.
+extern const KernelTable kAvx2Table;
+const KernelTable kAvx2Table = {
+    Matmul,       MatmulDense, MatmulTa,     MatmulTb,
+    BiasReluSkip, Relu,        VecAdd,       OutputSlice,
+    SoftmaxRows,  RangeMaskAnd, BitmapPopcount,
+};
+
+}  // namespace sam::kernels::internal
+
+#endif  // SAM_SIMD_AVX2

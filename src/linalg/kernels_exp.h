@@ -1,0 +1,57 @@
+#pragma once
+
+// Shared exp() used by the softmax kernels of BOTH backends. The scalar
+// function below is the reference; the AVX2 backend re-implements the exact
+// same operation sequence with 4-wide intrinsics (explicit mul/add, div_pd,
+// round_pd, integer exponent assembly), so the two backends remain
+// bit-identical — which std::exp cannot guarantee (libm may dispatch
+// different code paths per CPU).
+//
+// Algorithm: Cephes-style expd. Reduce x = n*ln2 + r with |r| <= ln2/2 via
+// round-to-nearest-even, evaluate the rational approximation
+// e^r = 1 + 2 p/(q - p) with p = r P(r^2), q = Q(r^2), then scale by 2^n
+// assembled directly in the exponent bits. Accuracy ~1 ulp over the clamped
+// domain.
+//
+// Domain contract: finite inputs; values are clamped to [-708, 709] (the
+// clamp's compare-select shape mirrors AVX2 max_pd/min_pd semantics exactly,
+// including NaN pass-through). Inputs below -708 saturate to exp(-708)
+// ~ 3e-308 instead of denormalising — softmax consumers cannot tell the
+// difference and the backends stay identical.
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+
+namespace sam::kernels::internal {
+
+inline constexpr double kExpClampLo = -708.0;
+inline constexpr double kExpClampHi = 709.0;
+inline constexpr double kExpLog2E = 1.4426950408889634073599;
+inline constexpr double kExpLn2Hi = 6.93145751953125e-1;
+inline constexpr double kExpLn2Lo = 1.42860682030941723212e-6;
+inline constexpr double kExpP0 = 1.26177193074810590878e-4;
+inline constexpr double kExpP1 = 3.02994407707441961300e-2;
+inline constexpr double kExpP2 = 9.99999999999999999910e-1;
+inline constexpr double kExpQ0 = 3.00198505138664455042e-6;
+inline constexpr double kExpQ1 = 2.52448340349684104192e-3;
+inline constexpr double kExpQ2 = 2.27265548208155028766e-1;
+inline constexpr double kExpQ3 = 2.00000000000000000005e0;
+
+inline double FastExp(double x) {
+  // Clamp shaped like maxpd(lo, x) / minpd(hi, x): (a>b)?a:b and (a<b)?a:b.
+  x = (kExpClampLo > x) ? kExpClampLo : x;
+  x = (kExpClampHi < x) ? kExpClampHi : x;
+  const double n = std::nearbyint(x * kExpLog2E);
+  const double r = (x - n * kExpLn2Hi) - n * kExpLn2Lo;
+  const double rr = r * r;
+  const double p = r * ((kExpP0 * rr + kExpP1) * rr + kExpP2);
+  const double q = ((kExpQ0 * rr + kExpQ1) * rr + kExpQ2) * rr + kExpQ3;
+  const double e = 1.0 + 2.0 * (p / (q - p));
+  // 2^n assembled in the exponent field; |n| <= 1023 after the clamp.
+  const double two_n =
+      std::bit_cast<double>((static_cast<int64_t>(n) + 1023) << 52);
+  return e * two_n;
+}
+
+}  // namespace sam::kernels::internal

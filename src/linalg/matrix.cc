@@ -4,54 +4,31 @@
 #include <cmath>
 #include <limits>
 
+#include "linalg/kernels.h"
+
 namespace sam {
 
 Matrix Matrix::Multiply(const Matrix& a, const Matrix& b) {
   SAM_CHECK_EQ(a.cols(), b.rows());
   Matrix c(a.rows(), b.cols());
-  // ikj loop order keeps the inner loop streaming over contiguous rows.
-  for (size_t i = 0; i < a.rows(); ++i) {
-    double* ci = c.row(i);
-    const double* ai = a.row(i);
-    for (size_t k = 0; k < a.cols(); ++k) {
-      const double aik = ai[k];
-      if (aik == 0.0) continue;
-      const double* bk = b.row(k);
-      for (size_t j = 0; j < b.cols(); ++j) ci[j] += aik * bk[j];
-    }
-  }
+  kernels::Active().matmul(a.data(), a.rows(), a.cols(), b.data(), b.cols(),
+                           c.data());
   return c;
 }
 
 Matrix Matrix::TransposeMultiply(const Matrix& a, const Matrix& b) {
   SAM_CHECK_EQ(a.rows(), b.rows());
   Matrix c(a.cols(), b.cols());
-  for (size_t k = 0; k < a.rows(); ++k) {
-    const double* ak = a.row(k);
-    const double* bk = b.row(k);
-    for (size_t i = 0; i < a.cols(); ++i) {
-      const double aki = ak[i];
-      if (aki == 0.0) continue;
-      double* ci = c.row(i);
-      for (size_t j = 0; j < b.cols(); ++j) ci[j] += aki * bk[j];
-    }
-  }
+  kernels::Active().matmul_ta(a.data(), a.rows(), a.cols(), b.data(), b.cols(),
+                              c.data());
   return c;
 }
 
 Matrix Matrix::MultiplyTranspose(const Matrix& a, const Matrix& b) {
   SAM_CHECK_EQ(a.cols(), b.cols());
   Matrix c(a.rows(), b.rows());
-  for (size_t i = 0; i < a.rows(); ++i) {
-    const double* ai = a.row(i);
-    double* ci = c.row(i);
-    for (size_t j = 0; j < b.rows(); ++j) {
-      const double* bj = b.row(j);
-      double acc = 0.0;
-      for (size_t k = 0; k < a.cols(); ++k) acc += ai[k] * bj[k];
-      ci[j] = acc;
-    }
-  }
+  kernels::Active().matmul_tb(a.data(), a.rows(), a.cols(), b.data(), b.rows(),
+                              c.data());
   return c;
 }
 

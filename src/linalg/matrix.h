@@ -29,6 +29,16 @@ class Matrix {
   size_t cols() const { return cols_; }
   size_t size() const { return data_.size(); }
 
+  /// Re-shapes to rows x cols, reusing the existing allocation when capacity
+  /// allows. Contents are unspecified afterwards — for scratch buffers whose
+  /// next writer fully overwrites them (the sampler hot path calls this every
+  /// forward; a fresh Matrix per call would mmap/zero/unmap ~MiB buffers).
+  void Reshape(size_t rows, size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(rows * cols);
+  }
+
   double& operator()(size_t r, size_t c) { return data_[r * cols_ + c]; }
   double operator()(size_t r, size_t c) const { return data_[r * cols_ + c]; }
 

@@ -6,10 +6,59 @@
 
 #include "common/string_util.h"
 #include "datasets/datasets.h"
+#include "engine/compiled_query.h"
 #include "engine/executor.h"
 
 namespace sam {
 namespace {
+
+// Every unsatisfiable predicate must compile to the canonical empty range
+// {lo=1, hi=0, use_set=false}: kLe/kLt below the dictionary minimum used to
+// produce hi = -1 and empty IN lists left use_set behind, both of which the
+// word-level bitmap kernels would mishandle (they rely on lo >= 0).
+void ExpectCanonicalEmpty(const Table& t, const Predicate& p) {
+  auto cp = CompilePredicate(t, p);
+  ASSERT_TRUE(cp.ok()) << cp.status().ToString();
+  EXPECT_FALSE(cp.ValueOrDie().use_set);
+  EXPECT_EQ(cp.ValueOrDie().lo, 1);
+  EXPECT_EQ(cp.ValueOrDie().hi, 0);
+}
+
+TEST(CompilePredicateTest, LiteralBelowDictionaryMinimumIsCanonicalEmpty) {
+  Database db = MakeCensusLike(200, 3);
+  const Table& t = *db.FindTable("census");
+  const Value below(int64_t{-1000000});
+  ExpectCanonicalEmpty(t, Predicate{"census", "age", PredOp::kLt, below, {}});
+  ExpectCanonicalEmpty(t, Predicate{"census", "age", PredOp::kLe, below, {}});
+  ExpectCanonicalEmpty(t, Predicate{"census", "age", PredOp::kEq, below, {}});
+}
+
+TEST(CompilePredicateTest, LiteralAboveDictionaryMaximumIsCanonicalEmpty) {
+  Database db = MakeCensusLike(200, 3);
+  const Table& t = *db.FindTable("census");
+  const Value above(int64_t{1000000});
+  ExpectCanonicalEmpty(t, Predicate{"census", "age", PredOp::kGt, above, {}});
+  ExpectCanonicalEmpty(t, Predicate{"census", "age", PredOp::kGe, above, {}});
+}
+
+TEST(CompilePredicateTest, UnresolvableInListIsCanonicalEmpty) {
+  Database db = MakeCensusLike(200, 3);
+  const Table& t = *db.FindTable("census");
+  ExpectCanonicalEmpty(t, Predicate{"census", "age", PredOp::kIn, Value(), {}});
+  ExpectCanonicalEmpty(
+      t, Predicate{"census", "age", PredOp::kIn, Value(),
+                   {Value(int64_t{-1000000}), Value(int64_t{1000000})}});
+}
+
+TEST(ExecutorEdgeTest, BelowMinimumRangeLiteralYieldsZero) {
+  Database db = MakeCensusLike(200, 3);
+  auto exec = Executor::Create(&db).MoveValue();
+  Query q;
+  q.relations = {"census"};
+  q.predicates = {
+      Predicate{"census", "age", PredOp::kLt, Value(int64_t{-1000000}), {}}};
+  EXPECT_EQ(exec->Cardinality(q).ValueOrDie(), 0);
+}
 
 TEST(ExecutorEdgeTest, EmptyRelationListIsRejected) {
   Database db = MakeFigure3Database();

@@ -1,0 +1,364 @@
+// Scalar vs AVX2 kernel parity. The dispatch layer promises the two backends
+// are bit-identical (kernels.h), which is what keeps FOJ sampling and
+// training reproducible across machines; these tests check that promise
+// bit-for-bit, including the awkward inputs (lane remainders, zero rows with
+// NaN/Inf behind them, NaN and denormal activations).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "common/random.h"
+#include "datasets/datasets.h"
+#include "engine/bitmap.h"
+#include "engine/executor.h"
+#include "linalg/kernels.h"
+#include "linalg/matrix.h"
+#include "sam/sam_model.h"
+#include "workload/generator.h"
+
+namespace sam {
+namespace {
+
+using kernels::Backend;
+using kernels::Table;
+
+// Restores the process-wide backend on scope exit so parity tests cannot
+// leak a forced backend into later tests.
+class BackendGuard {
+ public:
+  BackendGuard() : saved_(kernels::ActiveBackend()) {}
+  ~BackendGuard() { kernels::SetBackend(saved_); }
+
+ private:
+  Backend saved_;
+};
+
+std::vector<double> RandomVec(Rng* rng, size_t n) {
+  std::vector<double> v(n);
+  for (double& x : v) x = rng->Uniform(-2.0, 2.0);
+  return v;
+}
+
+void ExpectBitIdentical(const std::vector<double>& a,
+                        const std::vector<double>& b, const char* what) {
+  ASSERT_EQ(a.size(), b.size());
+  // memcmp, not ==: NaNs must match bit patterns too.
+  EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size() * sizeof(double)), 0)
+      << what << " diverges between scalar and AVX2";
+}
+
+// Shapes with deliberate lane remainders (not multiples of 4/8/16/64).
+struct Shape {
+  size_t m, k, n;
+};
+const Shape kShapes[] = {{1, 1, 1},   {3, 5, 7},    {17, 33, 5},
+                         {4, 240, 16}, {2, 241, 19}, {13, 250, 37},
+                         {8, 64, 129}};
+
+TEST(KernelParityTest, MatmulBitIdentical) {
+  if (!kernels::Avx2Available()) GTEST_SKIP() << "no AVX2 on this machine";
+  Rng rng(1);
+  for (const Shape& s : kShapes) {
+    const auto a = RandomVec(&rng, s.m * s.k);
+    const auto b = RandomVec(&rng, s.k * s.n);
+    std::vector<double> cs(s.m * s.n), cv(s.m * s.n);
+    Table(Backend::kScalar).matmul(a.data(), s.m, s.k, b.data(), s.n, cs.data());
+    Table(Backend::kAvx2).matmul(a.data(), s.m, s.k, b.data(), s.n, cv.data());
+    ExpectBitIdentical(cs, cv, "matmul");
+  }
+}
+
+TEST(KernelParityTest, MatmulDenseBitIdenticalAndMatchesSkipVariant) {
+  if (!kernels::Avx2Available()) GTEST_SKIP() << "no AVX2 on this machine";
+  Rng rng(11);
+  for (const Shape& s : kShapes) {
+    auto a = RandomVec(&rng, s.m * s.k);
+    const auto b = RandomVec(&rng, s.k * s.n);
+    // ReLU-like sparsity: with finite B, the dense kernel must produce the
+    // same bits as the zero-skip kernel (adding aik * bk with aik == 0.0
+    // cannot change any finite accumulator).
+    for (size_t i = 0; i < a.size(); i += 2) a[i] = 0.0;
+    std::vector<double> cs(s.m * s.n), cv(s.m * s.n), skip(s.m * s.n);
+    Table(Backend::kScalar)
+        .matmul_dense(a.data(), s.m, s.k, b.data(), s.n, cs.data());
+    Table(Backend::kAvx2)
+        .matmul_dense(a.data(), s.m, s.k, b.data(), s.n, cv.data());
+    ExpectBitIdentical(cs, cv, "matmul_dense");
+    Table(Backend::kScalar)
+        .matmul(a.data(), s.m, s.k, b.data(), s.n, skip.data());
+    ExpectBitIdentical(cs, skip, "matmul_dense vs matmul");
+  }
+}
+
+TEST(KernelParityTest, MatmulTaBitIdentical) {
+  if (!kernels::Avx2Available()) GTEST_SKIP() << "no AVX2 on this machine";
+  Rng rng(2);
+  for (const Shape& s : kShapes) {
+    const auto a = RandomVec(&rng, s.k * s.m);  // A: k x m, C = A^T B: m x n.
+    const auto b = RandomVec(&rng, s.k * s.n);
+    std::vector<double> cs(s.m * s.n), cv(s.m * s.n);
+    Table(Backend::kScalar)
+        .matmul_ta(a.data(), s.k, s.m, b.data(), s.n, cs.data());
+    Table(Backend::kAvx2).matmul_ta(a.data(), s.k, s.m, b.data(), s.n, cv.data());
+    ExpectBitIdentical(cs, cv, "matmul_ta");
+  }
+}
+
+TEST(KernelParityTest, MatmulTbBitIdentical) {
+  if (!kernels::Avx2Available()) GTEST_SKIP() << "no AVX2 on this machine";
+  Rng rng(3);
+  for (const Shape& s : kShapes) {
+    const auto a = RandomVec(&rng, s.m * s.k);
+    const auto b = RandomVec(&rng, s.n * s.k);  // B: n x k, C = A B^T: m x n.
+    std::vector<double> cs(s.m * s.n), cv(s.m * s.n);
+    Table(Backend::kScalar)
+        .matmul_tb(a.data(), s.m, s.k, b.data(), s.n, cs.data());
+    Table(Backend::kAvx2).matmul_tb(a.data(), s.m, s.k, b.data(), s.n, cv.data());
+    ExpectBitIdentical(cs, cv, "matmul_tb");
+  }
+}
+
+TEST(KernelParityTest, ZeroARowsSkipNaNInfInB) {
+  if (!kernels::Avx2Available()) GTEST_SKIP() << "no AVX2 on this machine";
+  // Both backends skip aik == 0.0, so NaN/Inf rows of B behind a zero weight
+  // must never leak into C — and the skip must agree between paths.
+  const size_t m = 3, k = 5, n = 9;
+  Rng rng(4);
+  auto a = RandomVec(&rng, m * k);
+  auto b = RandomVec(&rng, k * n);
+  for (size_t i = 0; i < m; ++i) a[i * k + 2] = 0.0;  // Column 2 of A zeroed.
+  for (size_t j = 0; j < n; ++j) {
+    b[2 * n + j] = (j % 2 != 0) ? std::numeric_limits<double>::quiet_NaN()
+                                : std::numeric_limits<double>::infinity();
+  }
+  std::vector<double> cs(m * n), cv(m * n);
+  Table(Backend::kScalar).matmul(a.data(), m, k, b.data(), n, cs.data());
+  Table(Backend::kAvx2).matmul(a.data(), m, k, b.data(), n, cv.data());
+  ExpectBitIdentical(cs, cv, "matmul with poisoned skipped row");
+  for (double v : cs) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(KernelParityTest, BiasReluSkipBitIdenticalOnAwkwardValues) {
+  if (!kernels::Avx2Available()) GTEST_SKIP() << "no AVX2 on this machine";
+  const size_t rows = 5, cols = 23;  // 23: remainder lanes.
+  Rng rng(5);
+  auto base = RandomVec(&rng, rows * cols);
+  auto bias = RandomVec(&rng, cols);
+  const auto skip = RandomVec(&rng, rows * cols);
+  // Poison with NaN, denormals, and exact negations (relu boundary).
+  base[0] = std::numeric_limits<double>::quiet_NaN();
+  base[1] = 1e-310;
+  base[2] = -bias[2];
+  base[cols + 3] = -0.0;
+  for (const double* sk : {skip.data(), static_cast<const double*>(nullptr)}) {
+    auto xs = base, xv = base;
+    Table(Backend::kScalar).bias_relu_skip(xs.data(), bias.data(), sk, rows, cols);
+    Table(Backend::kAvx2).bias_relu_skip(xv.data(), bias.data(), sk, rows, cols);
+    ExpectBitIdentical(xs, xv, "bias_relu_skip");
+    // relu semantics follow std::max(0.0, v): NaN -> 0.
+    if (sk == nullptr) {
+      EXPECT_EQ(xs[0], 0.0);
+    }
+  }
+}
+
+TEST(KernelParityTest, ReluAndVecAddBitIdentical) {
+  if (!kernels::Avx2Available()) GTEST_SKIP() << "no AVX2 on this machine";
+  Rng rng(6);
+  for (size_t n : {1u, 4u, 17u, 63u, 130u}) {
+    auto in = RandomVec(&rng, n);
+    in[0] = std::numeric_limits<double>::quiet_NaN();
+    if (n > 2) in[2] = -1e-310;
+    std::vector<double> os(n), ov(n);
+    Table(Backend::kScalar).relu(in.data(), os.data(), n);
+    Table(Backend::kAvx2).relu(in.data(), ov.data(), n);
+    ExpectBitIdentical(os, ov, "relu");
+
+    auto ds = RandomVec(&rng, n);
+    auto dv = ds;
+    Table(Backend::kScalar).vec_add(ds.data(), in.data(), n);
+    Table(Backend::kAvx2).vec_add(dv.data(), in.data(), n);
+    ExpectBitIdentical(ds, dv, "vec_add");
+  }
+}
+
+TEST(KernelParityTest, OutputSliceBitIdentical) {
+  if (!kernels::Avx2Available()) GTEST_SKIP() << "no AVX2 on this machine";
+  const size_t rows = 7, hc = 33, d = 13, w_stride = 29, direct_stride = 21;
+  Rng rng(7);
+  auto h = RandomVec(&rng, rows * hc);
+  // ReLU-like sparsity: zero some activations (exercises the skip).
+  for (size_t i = 0; i < h.size(); i += 3) h[i] = 0.0;
+  const auto w = RandomVec(&rng, hc * w_stride);
+  const auto bias = RandomVec(&rng, d);
+  const auto direct = RandomVec(&rng, rows * direct_stride);
+  for (const double* dir : {direct.data(), static_cast<const double*>(nullptr)}) {
+    std::vector<double> os(rows * d), ov(rows * d);
+    Table(Backend::kScalar)
+        .output_slice(h.data(), rows, hc, w.data(), w_stride, bias.data(), dir,
+                      direct_stride, os.data(), d);
+    Table(Backend::kAvx2)
+        .output_slice(h.data(), rows, hc, w.data(), w_stride, bias.data(), dir,
+                      direct_stride, ov.data(), d);
+    ExpectBitIdentical(os, ov, "output_slice");
+  }
+}
+
+TEST(KernelParityTest, OutputSliceSmallDomainsBitIdenticalAndCorrect) {
+  if (!kernels::Avx2Available()) GTEST_SKIP() << "no AVX2 on this machine";
+  // d <= 4 takes the shared register-accumulating specialisation; check it
+  // against both backends and a naive reference.
+  const size_t rows = 9, hc = 65, w_stride = 11, direct_stride = 7;
+  Rng rng(12);
+  auto h = RandomVec(&rng, rows * hc);
+  for (size_t i = 0; i < h.size(); i += 2) h[i] = 0.0;
+  const auto w = RandomVec(&rng, hc * w_stride);
+  const auto bias = RandomVec(&rng, 4);
+  const auto direct = RandomVec(&rng, rows * direct_stride);
+  for (size_t d : {1u, 2u, 3u, 4u}) {
+    for (const double* dir :
+         {direct.data(), static_cast<const double*>(nullptr)}) {
+      std::vector<double> os(rows * d), ov(rows * d);
+      Table(Backend::kScalar)
+          .output_slice(h.data(), rows, hc, w.data(), w_stride, bias.data(),
+                        dir, direct_stride, os.data(), d);
+      Table(Backend::kAvx2)
+          .output_slice(h.data(), rows, hc, w.data(), w_stride, bias.data(),
+                        dir, direct_stride, ov.data(), d);
+      ExpectBitIdentical(os, ov, "output_slice small d");
+      for (size_t r = 0; r < rows; ++r) {
+        for (size_t j = 0; j < d; ++j) {
+          // The small-d path has no zero-skip (see kernels_smalld.h).
+          double ref = bias[j];
+          for (size_t k = 0; k < hc; ++k) {
+            ref += h[r * hc + k] * w[k * w_stride + j];
+          }
+          if (dir != nullptr) ref += direct[r * direct_stride + j];
+          EXPECT_NEAR(os[r * d + j], ref, 1e-12) << "r=" << r << " j=" << j;
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelParityTest, SoftmaxRowsBitIdentical) {
+  if (!kernels::Avx2Available()) GTEST_SKIP() << "no AVX2 on this machine";
+  Rng rng(10);
+  for (size_t d : {1u, 2u, 5u, 64u, 99u, 257u}) {
+    const size_t rows = 9;
+    auto base = RandomVec(&rng, rows * d);
+    for (double& v : base) v *= 10.0;  // Wider logit spread.
+    base[0] = -800.0;  // Exercises the exp underflow clamp.
+    auto xs = base, xv = base;
+    Table(Backend::kScalar).softmax_rows(xs.data(), rows, d);
+    Table(Backend::kAvx2).softmax_rows(xv.data(), rows, d);
+    ExpectBitIdentical(xs, xv, "softmax_rows");
+    // Each row must be a probability distribution close to std::exp's.
+    for (size_t r = 0; r < rows; ++r) {
+      double sum = 0.0, ref_mx = base[r * d];
+      for (size_t j = 0; j < d; ++j) ref_mx = std::max(ref_mx, base[r * d + j]);
+      double ref_sum = 0.0;
+      std::vector<double> ref(d);
+      for (size_t j = 0; j < d; ++j) {
+        ref[j] = std::exp(base[r * d + j] - ref_mx);
+        ref_sum += ref[j];
+      }
+      for (size_t j = 0; j < d; ++j) {
+        sum += xs[r * d + j];
+        EXPECT_NEAR(xs[r * d + j], ref[j] / ref_sum, 1e-12) << "row " << r;
+      }
+      EXPECT_NEAR(sum, 1.0, 1e-12);
+    }
+  }
+}
+
+TEST(KernelParityTest, RangeMaskAndMatchesScalarIncludingNulls) {
+  if (!kernels::Avx2Available()) GTEST_SKIP() << "no AVX2 on this machine";
+  Rng rng(8);
+  for (size_t n : {1u, 64u, 65u, 200u, 1000u}) {
+    std::vector<int32_t> codes(n);
+    for (auto& c : codes) {
+      // ~1/8 NULLs; the rest spread over a small domain so ranges bite.
+      c = rng.Uniform() < 0.125 ? kNullCode
+                                : static_cast<int32_t>(rng.UniformInt(0, 40));
+    }
+    for (auto [lo, hi] : {std::pair<int32_t, int32_t>{0, 40},
+                          {10, 20},
+                          {1, 0},    // Canonical empty range.
+                          {40, 40},
+                          {0, 0}}) {
+      engine::Bitmap bs, bv;
+      bs.ResetAllSet(n);
+      bv.ResetAllSet(n);
+      Table(Backend::kScalar).range_mask_and(bs.words(), codes.data(), n, lo, hi);
+      Table(Backend::kAvx2).range_mask_and(bv.words(), codes.data(), n, lo, hi);
+      ASSERT_EQ(bs.num_words(), bv.num_words());
+      EXPECT_EQ(std::memcmp(bs.words(), bv.words(),
+                            bs.num_words() * sizeof(uint64_t)),
+                0)
+          << "range_mask_and n=" << n << " lo=" << lo << " hi=" << hi;
+      EXPECT_EQ(Table(Backend::kScalar).bitmap_popcount(bs.words(), bs.num_words()),
+                Table(Backend::kAvx2).bitmap_popcount(bv.words(), bv.num_words()));
+      // Cross-check against the definition, bit by bit.
+      for (size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(bs.Test(i), codes[i] >= lo && codes[i] <= hi) << "row " << i;
+      }
+    }
+  }
+}
+
+TEST(KernelsTest, MatrixMultiplyMatchesNaiveReference) {
+  // Independent of backend: the dispatched matmul must agree with a plain
+  // ijk triple loop to rounding error.
+  Rng rng(9);
+  const size_t m = 11, k = 250, n = 17;
+  Matrix a(m, k), b(k, n);
+  for (size_t i = 0; i < a.size(); ++i) a.data()[i] = rng.Uniform(-1.0, 1.0);
+  for (size_t i = 0; i < b.size(); ++i) b.data()[i] = rng.Uniform(-1.0, 1.0);
+  const Matrix c = Matrix::Multiply(a, b);
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      double ref = 0.0;
+      for (size_t kk = 0; kk < k; ++kk) ref += a(i, kk) * b(kk, j);
+      EXPECT_NEAR(c(i, j), ref, 1e-9) << "(" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST(KernelParityTest, SampleFojBitIdenticalAcrossBackends) {
+  if (!kernels::Avx2Available()) GTEST_SKIP() << "no AVX2 on this machine";
+  // End-to-end determinism: the generated FOJ codes must not depend on which
+  // backend the process picked (the acceptance bar for shipping SIMD at all).
+  Database db = MakeImdbLike(200, 3);
+  auto exec = Executor::Create(&db).MoveValue();
+  MultiRelationWorkloadOptions wopts;
+  wopts.num_queries = 50;
+  auto train = GenerateMultiRelationWorkload(db, *exec, wopts).MoveValue();
+  SamOptions options;
+  options.generation_batch = 128;
+  auto sam = SamModel::Create(db, train, SchemaHints{},
+                              exec->FullOuterJoinSize(), options)
+                 .MoveValue();
+  sam->model()->SyncSamplerWeights();
+
+  BackendGuard guard;
+  ASSERT_TRUE(kernels::SetBackend(Backend::kScalar));
+  Rng r1(42);
+  const auto scalar_out = sam->SampleFoj(1000, &r1);
+  ASSERT_TRUE(kernels::SetBackend(Backend::kAvx2));
+  Rng r2(42);
+  const auto simd_out = sam->SampleFoj(1000, &r2);
+
+  ASSERT_EQ(scalar_out.count, simd_out.count);
+  ASSERT_EQ(scalar_out.codes.size(), simd_out.codes.size());
+  for (size_t c = 0; c < scalar_out.codes.size(); ++c) {
+    EXPECT_EQ(scalar_out.codes[c], simd_out.codes[c]) << "column " << c;
+  }
+}
+
+}  // namespace
+}  // namespace sam
