@@ -126,25 +126,30 @@ std::string CheckpointFileName(uint64_t epoch, uint64_t step_start) {
   return buf;
 }
 
-std::vector<std::string> ListCheckpointFiles(const std::string& dir) {
+std::vector<std::string> ListCheckpointFilesWithPrefix(
+    const std::string& dir, const std::string& prefix) {
   namespace fs = std::filesystem;
   std::vector<std::string> names;
   std::error_code ec;
   for (const auto& entry : fs::directory_iterator(dir, ec)) {
     if (!entry.is_regular_file(ec)) continue;
     const std::string name = entry.path().filename().string();
-    if (name.size() > 10 && name.rfind("ckpt_", 0) == 0 &&
+    if (name.size() > prefix.size() + 5 && name.rfind(prefix, 0) == 0 &&
         name.compare(name.size() - 5, 5, ".ckpt") == 0) {
       names.push_back(name);
     }
   }
-  // File names embed zero-padded (epoch, step), so lexicographic order is
-  // training order.
+  // File names embed zero-padded cursors, so lexicographic order is
+  // progress order.
   std::sort(names.begin(), names.end());
   std::vector<std::string> paths;
   paths.reserve(names.size());
   for (const auto& n : names) paths.push_back(dir + "/" + n);
   return paths;
+}
+
+std::vector<std::string> ListCheckpointFiles(const std::string& dir) {
+  return ListCheckpointFilesWithPrefix(dir, "ckpt_");
 }
 
 Result<TrainingCheckpoint> LoadLatestValidCheckpoint(
@@ -168,14 +173,20 @@ Result<TrainingCheckpoint> LoadLatestValidCheckpoint(
                          "silently (clear the directory to start over)");
 }
 
-void PruneCheckpoints(const std::string& dir, size_t keep) {
+void PruneCheckpointsWithPrefix(const std::string& dir,
+                                const std::string& prefix, size_t keep) {
   if (keep == 0) return;
-  const std::vector<std::string> files = ListCheckpointFiles(dir);
+  const std::vector<std::string> files =
+      ListCheckpointFilesWithPrefix(dir, prefix);
   if (files.size() <= keep) return;
   std::error_code ec;
   for (size_t i = 0; i + keep < files.size(); ++i) {
     std::filesystem::remove(files[i], ec);
   }
+}
+
+void PruneCheckpoints(const std::string& dir, size_t keep) {
+  PruneCheckpointsWithPrefix(dir, "ckpt_", keep);
 }
 
 }  // namespace sam

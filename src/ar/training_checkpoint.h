@@ -78,6 +78,13 @@ std::string CheckpointFileName(uint64_t epoch, uint64_t step_start);
 /// directory yields an empty list.
 std::vector<std::string> ListCheckpointFiles(const std::string& dir);
 
+/// Prefix-parameterised variant shared with the generation checkpoints
+/// (`genckpt_*.ckpt`): lists `<prefix>*.ckpt` files in `dir`, sorted
+/// oldest → newest (names embed zero-padded cursors, so lexicographic order
+/// is progress order).
+std::vector<std::string> ListCheckpointFilesWithPrefix(
+    const std::string& dir, const std::string& prefix);
+
 /// \brief Loads the newest checkpoint in `dir` that passes validation.
 ///
 /// Corrupt files are skipped (with a warning) and the next-older candidate
@@ -92,5 +99,10 @@ Result<TrainingCheckpoint> LoadLatestValidCheckpoint(const std::string& dir,
 /// Deletes all but the newest `keep` checkpoints in `dir` (0 keeps all).
 /// Best-effort: deletion errors are ignored.
 void PruneCheckpoints(const std::string& dir, size_t keep);
+
+/// Prefix-parameterised variant of `PruneCheckpoints` (see
+/// `ListCheckpointFilesWithPrefix`).
+void PruneCheckpointsWithPrefix(const std::string& dir,
+                                const std::string& prefix, size_t keep);
 
 }  // namespace sam

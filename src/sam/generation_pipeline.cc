@@ -1,0 +1,1329 @@
+#include "sam/generation_pipeline.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
+#include "sam/generation_checkpoint.h"
+#include "storage/artifact_io.h"
+#include "storage/csv.h"
+#include "storage/schema_io.h"
+#include "storage/spill.h"
+
+namespace sam {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Deterministic hashing / seeding. Every RNG the pipeline uses is derived
+// from (base_seed, step identity), never threaded across steps, so replaying
+// a step from a checkpoint reproduces its bytes exactly.
+// ---------------------------------------------------------------------------
+
+struct Fnv1a {
+  uint64_t h = 1469598103934665603ull;
+  void Mix(const void* data, size_t len) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < len; ++i) {
+      h ^= p[i];
+      h *= 1099511628211ull;
+    }
+  }
+  void MixU64(uint64_t v) { Mix(&v, sizeof(v)); }
+  void MixI64(int64_t v) { Mix(&v, sizeof(v)); }
+  void MixDouble(double v) { Mix(&v, sizeof(v)); }
+  void MixString(const std::string& s) {
+    MixU64(s.size());
+    Mix(s.data(), s.size());
+  }
+};
+
+uint64_t HashKey(const std::string& s) {
+  Fnv1a f;
+  f.Mix(s.data(), s.size());
+  return f.h;
+}
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+uint64_t DeriveSeed(uint64_t base, const std::string& tag) {
+  return SplitMix64(base ^ HashKey(tag));
+}
+
+// ---------------------------------------------------------------------------
+// Spill-chunk naming. Zero-padded sequence numbers make lexicographic order
+// equal production order; names are relative to the work directory and are
+// the keys of the checkpoint manifest.
+// ---------------------------------------------------------------------------
+
+std::string FojChunkName(uint64_t batch) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "foj_%06llu.spill",
+                static_cast<unsigned long long>(batch));
+  return buf;
+}
+
+std::string RowChunkName(const std::string& rel, uint64_t seq) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "_%06llu.spill",
+                static_cast<unsigned long long>(seq));
+  return "rows_" + rel + buf;
+}
+
+std::string VirtChunkName(const std::string& rel, size_t part, uint64_t seq) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "_p%03zu_%06llu.spill", part,
+                static_cast<unsigned long long>(seq));
+  return "virt_" + rel + buf;
+}
+
+std::string LeftoverChunkName(const std::string& rel, size_t part) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "_p%03zu.spill", part);
+  return "left_" + rel + buf;
+}
+
+std::string SummaryChunkName(const std::string& rel, size_t part) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "_p%03zu.spill", part);
+  return "gsum_" + rel + buf;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Impl
+// ---------------------------------------------------------------------------
+
+struct GenerationPipeline::Impl {
+  struct Step {
+    enum class Kind { kSample, kPartition, kPass2, kAssemble, kPublish };
+    Kind kind = Kind::kSample;
+    size_t rel = 0;    ///< Index into `topo` (partition/pass2) or `layouts()`.
+    size_t index = 0;  ///< Batch index / partition index.
+  };
+
+  /// One merge group of a partition step: virtuals sharing
+  /// (parent key | group-key codes), in first-appearance order — the
+  /// deterministic counterpart of the in-RAM unordered_map grouping.
+  struct Group {
+    std::vector<std::pair<uint32_t, double>> members;  ///< (sample, fraction).
+    double mass = 0.0;
+    int64_t fk = -1;
+    uint64_t key_hash = 0;
+  };
+
+  const SamModel* sam = nullptr;
+  GenerationPipelineOptions opts;
+  MemoryBudget budget{0};
+
+  bool multi = false;
+  std::vector<std::string> topo;  ///< Relation processing order.
+  uint64_t k = 0;                 ///< Total sampled FOJ tuples.
+  uint64_t sample_batches = 0;
+  size_t partitions = 1;
+  std::vector<Step> plan;
+  std::unordered_map<std::string, size_t> rel_index;  ///< name -> topo index.
+
+  GenerationCheckpoint state;
+  std::string resumed_from;
+
+  // Preamble (multi-relation): per-relation IPW-scaled base weights. A pure
+  // recomputation from the spilled FOJ chunks — no RNG involved — so it is
+  // rebuilt on demand after a resume rather than checkpointed.
+  bool preamble_ready = false;
+  std::unordered_map<std::string, std::vector<double>> w_base;
+  int64_t preamble_reserved = 0;
+
+  struct ColPlan {
+    enum class Kind { kPk, kFk, kContent };
+    Kind kind = Kind::kContent;
+    size_t model_col = 0;
+  };
+
+  /// Resident state of the relation whose partition steps are executing:
+  /// its needed code columns, renormalised weights and layout plan. Loaded
+  /// once per relation (spanning its partition + pass-2 steps), released
+  /// when the next relation activates.
+  struct ActiveRel {
+    bool valid = false;
+    size_t topo_index = 0;
+    std::string name;
+    const SamModel::TableLayout* layout = nullptr;
+    bool keyed = false;
+    std::vector<std::string> children;
+    std::vector<size_t> group_cols;
+    std::map<std::string, std::vector<size_t>> child_group_cols;
+    std::vector<ColPlan> col_plan;
+    std::unordered_map<size_t, std::vector<int32_t>> resident;
+    std::vector<double> w;  ///< Renormalised scaled weights.
+    int64_t reserved = 0;
+  };
+  ActiveRel active;
+
+  // Step-local output buffers, always flushed before a step completes so
+  // chunk boundaries are deterministic on resume.
+  struct RowBuffer {
+    std::string csv;
+    uint64_t rows = 0;
+    int64_t reserved = 0;
+  };
+  struct VirtBuffer {
+    std::vector<SpillVirtual> records;
+    int64_t reserved = 0;
+  };
+  RowBuffer row_buf;
+  /// Keyed by (child relation, partition); ordered for deterministic flushes.
+  std::map<std::pair<std::string, size_t>, VirtBuffer> virt_bufs;
+
+  ~Impl() {
+    ClearRowBuffer();
+    ClearVirtBuffers();
+    DeactivateRelation();
+    ReleasePreamble();
+  }
+
+  // ------------------------------------------------------------------------
+
+  const ModelSchema& schema() const { return sam->schema(); }
+  const SamOptions& options() const { return sam->options(); }
+
+  std::string Path(const std::string& name) const {
+    return opts.work_dir + "/" + name;
+  }
+  std::string StagingDir() const { return opts.work_dir + "/staging"; }
+
+  GenerationCheckpoint::RelationState& RelState(const std::string& name) {
+    return state.relations[rel_index.at(name)];
+  }
+
+  const SamModel::TableLayout* LayoutOf(const std::string& rel) const {
+    for (const auto& l : sam->layouts()) {
+      if (l.name == rel) return &l;
+    }
+    return nullptr;
+  }
+
+  int64_t RowFlushBytes() const {
+    const int64_t cap = budget.cap();
+    if (cap <= 0) return 8ll << 20;
+    return std::clamp<int64_t>(cap / 16, 64ll << 10, 8ll << 20);
+  }
+
+  size_t VirtFlushRecords(size_t buffer_count) const {
+    const int64_t cap = budget.cap();
+    const int64_t pool =
+        cap <= 0 ? (64ll << 20) : std::max<int64_t>(cap / 8, 64ll << 10);
+    const int64_t per =
+        pool / static_cast<int64_t>(std::max<size_t>(buffer_count, 1));
+    return static_cast<size_t>(std::max<int64_t>(
+        per / static_cast<int64_t>(sizeof(SpillVirtual)), 256));
+  }
+
+  /// Partition fan-out, derived only from (k, cap) so the plan — and with it
+  /// every spill-chunk name — is a pure function of the configuration.
+  /// Tighter caps spread the merge-group tables over more, smaller
+  /// partitions (more spill I/O, identical output).
+  size_t ChoosePartitions() const {
+    if (!multi) return 1;
+    const int64_t cap = budget.cap();
+    if (cap <= 0) return 1;
+    const int64_t per_partition = std::max<int64_t>(cap / 4, 1ll << 20);
+    // ~192 bytes of group-table state per virtual (key string + member slot).
+    const int64_t estimate = static_cast<int64_t>(k) * 192;
+    const int64_t p = estimate / per_partition + 1;
+    return static_cast<size_t>(std::clamp<int64_t>(p, 1, 256));
+  }
+
+  uint64_t ComputeFingerprint() const {
+    Fnv1a f;
+    f.MixString("samgen-v1");
+    const ModelSchema& sc = schema();
+    f.MixU64(sc.num_columns());
+    for (const auto& mc : sc.columns()) {
+      f.MixU64(static_cast<uint64_t>(mc.kind));
+      f.MixString(mc.table);
+      f.MixString(mc.name);
+      f.MixU64(mc.domain_size);
+      f.MixU64(mc.has_null ? 1 : 0);
+      f.MixU64(mc.intervalized ? 1 : 0);
+      f.MixU64(mc.categories.size());
+      for (double b : mc.bounds) f.MixDouble(b);
+    }
+    for (const auto& [name, size] : sc.table_sizes()) {
+      f.MixString(name);
+      f.MixI64(size);
+    }
+    for (const auto& layout : sam->layouts()) {
+      f.MixString(layout.name);
+      for (size_t c = 0; c < layout.column_names.size(); ++c) {
+        f.MixString(layout.column_names[c]);
+        f.MixU64(static_cast<uint64_t>(layout.column_types[c]));
+      }
+      f.MixString(layout.pk);
+      for (const auto& fk : layout.fks) {
+        f.MixString(fk.column);
+        f.MixString(fk.parent_table);
+        f.MixString(fk.parent_column);
+      }
+    }
+    const SamOptions& o = options();
+    f.MixU64(o.generation_batch);
+    f.MixU64(o.foj_samples);
+    f.MixU64(o.use_group_and_merge ? 1 : 0);
+    f.MixU64(o.enforce_null_consistency ? 1 : 0);
+    f.MixDouble(o.leftover_key_threshold);
+    f.MixU64(o.generation_seed);
+    f.MixU64(o.column_order.size());
+    for (size_t v : o.column_order) f.MixU64(v);
+    // The cap fixes the partition fan-out and buffer thresholds, i.e. the
+    // spill layout — resuming across a cap change would splice two layouts.
+    f.MixI64(o.memory_cap_bytes);
+    // Model parameters: different weights sample different tuples.
+    for (const auto& t : sam->model()->params()) {
+      const Matrix& m = t.value();
+      f.MixU64(m.rows());
+      f.MixU64(m.cols());
+      f.Mix(m.data(), m.rows() * m.cols() * sizeof(double));
+    }
+    return f.h;
+  }
+
+  void BuildPlan() {
+    plan.clear();
+    for (uint64_t b = 0; b < sample_batches; ++b) {
+      plan.push_back(Step{Step::Kind::kSample, 0, static_cast<size_t>(b)});
+    }
+    if (multi) {
+      for (size_t r = 0; r < topo.size(); ++r) {
+        for (size_t p = 0; p < partitions; ++p) {
+          plan.push_back(Step{Step::Kind::kPartition, r, p});
+        }
+        const SamModel::TableLayout* layout = LayoutOf(topo[r]);
+        if (layout != nullptr && !layout->pk.empty()) {
+          plan.push_back(Step{Step::Kind::kPass2, r, 0});
+        }
+      }
+    }
+    for (size_t t = 0; t < sam->layouts().size(); ++t) {
+      plan.push_back(Step{Step::Kind::kAssemble, t, 0});
+    }
+    plan.push_back(Step{Step::Kind::kPublish, 0, 0});
+  }
+
+  // -- Manifest -------------------------------------------------------------
+
+  Status RecordChunk(const std::string& name) {
+    std::error_code ec;
+    const auto size = std::filesystem::file_size(Path(name), ec);
+    if (ec) {
+      return Status::IOError("cannot stat freshly-written spill chunk '" +
+                             Path(name) + "': " + ec.message());
+    }
+    const uint64_t bytes = static_cast<uint64_t>(size);
+    for (auto& f : state.manifest) {
+      if (f.name == name) {
+        // A replayed step rewrote its chunk (byte-identical by construction).
+        state.spill_bytes += bytes - f.bytes;
+        f.bytes = bytes;
+        return Status::OK();
+      }
+    }
+    state.manifest.push_back(SpillFileInfo{name, bytes});
+    state.spill_bytes += bytes;
+    return Status::OK();
+  }
+
+  bool HasManifest(const std::string& name) const {
+    for (const auto& f : state.manifest) {
+      if (f.name == name) return true;
+    }
+    return false;
+  }
+
+  // -- Initialisation -------------------------------------------------------
+
+  Status Init() {
+    namespace fs = std::filesystem;
+    if (opts.out_dir.empty() || opts.work_dir.empty()) {
+      return Status::InvalidArgument(
+          "generation pipeline needs both an output and a work directory");
+    }
+    const SamOptions& o = options();
+    SAM_RETURN_NOT_OK(ValidateSamOptions(o));
+    budget = MemoryBudget(o.memory_cap_bytes);
+
+    multi = schema().multi_relation();
+    if (multi && !o.use_group_and_merge) {
+      return Status::NotImplemented(
+          "the out-of-core pipeline requires Group-and-Merge; the view-based "
+          "ablation only runs on the in-RAM SamModel::Generate path");
+    }
+    if (multi) {
+      topo = schema().join_graph().TopologicalOrder();
+      k = o.foj_samples;
+    } else {
+      if (sam->layouts().size() != 1) {
+        return Status::Internal("single-relation schema with " +
+                                std::to_string(sam->layouts().size()) +
+                                " layouts");
+      }
+      topo = {sam->layouts()[0].name};
+      k = static_cast<uint64_t>(schema().table_size(topo[0]));
+    }
+    rel_index.clear();
+    for (size_t i = 0; i < topo.size(); ++i) rel_index[topo[i]] = i;
+    for (const auto& rel : topo) {
+      const SamModel::TableLayout* layout = LayoutOf(rel);
+      if (layout == nullptr) {
+        return Status::Internal("no table layout recorded for relation '" +
+                                rel + "'");
+      }
+      if (layout->fks.size() > 1) {
+        return Status::NotImplemented(
+            "relation '" + rel + "' has " + std::to_string(layout->fks.size()) +
+            " foreign keys; generation supports tree-structured schemas with "
+            "at most one foreign key per relation");
+      }
+    }
+    sample_batches = (k + o.generation_batch - 1) / o.generation_batch;
+    partitions = ChoosePartitions();
+    BuildPlan();
+
+    const uint64_t fingerprint = ComputeFingerprint();
+    if (opts.resume) {
+      SAM_ASSIGN_OR_RETURN(state, LoadLatestValidGenerationCheckpoint(
+                                      opts.work_dir, &resumed_from));
+      if (state.fingerprint != fingerprint) {
+        return Status::InvalidArgument(
+            "generation checkpoint '" + resumed_from +
+            "' was written by a different model/configuration (fingerprint "
+            "mismatch); refusing to resume");
+      }
+      if (state.next_step > plan.size() ||
+          state.relations.size() != topo.size()) {
+        return Status::InvalidArgument("generation checkpoint '" +
+                                       resumed_from +
+                                       "' does not match the current plan");
+      }
+      for (size_t i = 0; i < topo.size(); ++i) {
+        if (state.relations[i].name != topo[i] ||
+            state.relations[i].virt_chunk_seq.size() != partitions) {
+          return Status::InvalidArgument(
+              "generation checkpoint '" + resumed_from +
+              "' does not match the current relation plan");
+        }
+      }
+      SAM_RETURN_NOT_OK(VerifySpillManifest(opts.work_dir, state.manifest));
+      obs::MetricsRegistry::Global()
+          .GetCounter("sam.generate.resume_events")
+          ->Add(1);
+      SAM_LOG(Info) << "resuming generation from " << resumed_from
+                    << " at step " << state.next_step << "/" << plan.size();
+      return Status::OK();
+    }
+
+    // Fresh run: the work directory is pipeline-owned scratch — clear stale
+    // remains of earlier runs so chunk reads cannot mix configurations.
+    std::error_code ec;
+    fs::remove_all(opts.work_dir, ec);
+    ec.clear();
+    fs::create_directories(opts.work_dir, ec);
+    if (ec) {
+      return Status::IOError("cannot create work directory '" + opts.work_dir +
+                             "': " + ec.message());
+    }
+    state = GenerationCheckpoint{};
+    state.fingerprint = fingerprint;
+    Rng rng(o.generation_seed);
+    state.base_seed = rng.engine()();
+    for (const auto& rel : topo) {
+      GenerationCheckpoint::RelationState rs;
+      rs.name = rel;
+      rs.virt_chunk_seq.assign(partitions, 0);
+      state.relations.push_back(std::move(rs));
+    }
+    return Status::OK();
+  }
+
+  // -- Preamble -------------------------------------------------------------
+
+  void ReleasePreamble() {
+    if (preamble_reserved > 0) budget.Release(preamble_reserved);
+    preamble_reserved = 0;
+    preamble_ready = false;
+    w_base.clear();
+  }
+
+  Status EnsurePreamble() {
+    if (!multi || preamble_ready) return Status::OK();
+    obs::TraceSpan span("generate/pipeline/preamble");
+    const int64_t bytes =
+        static_cast<int64_t>(topo.size()) * static_cast<int64_t>(k) * 8;
+    SAM_RETURN_NOT_OK(budget.Reserve(bytes, "per-relation weight arrays"));
+    preamble_reserved = bytes;
+    for (const auto& rel : topo) w_base[rel].assign(k, 0.0);
+
+    const size_t batch = options().generation_batch;
+    for (uint64_t b = 0; b < sample_batches; ++b) {
+      SAM_ASSIGN_OR_RETURN(FojChunk chunk,
+                           FojChunk::Load(Path(FojChunkName(b))));
+      ScopedReservation res(&budget);
+      SAM_RETURN_NOT_OK(res.Acquire(
+          FojChunk::BytesFor(chunk.rows, chunk.codes.size()),
+          "FOJ chunk buffer"));
+      SamModel::FojSample view;
+      view.count = chunk.rows;
+      view.codes = std::move(chunk.codes);
+      const uint64_t start = b * batch;
+      for (const auto& rel : topo) {
+        auto& w = w_base[rel];
+        for (uint64_t r = 0; r < chunk.rows; ++r) {
+          w[start + r] = sam->InverseProbabilityWeight(view, rel, r);
+        }
+      }
+    }
+    for (const auto& rel : topo) {
+      auto& w = w_base[rel];
+      double sum = 0.0;
+      for (double v : w) sum += v;
+      if (sum <= 0.0) {
+        return Status::Internal("no usable samples for relation '" + rel +
+                                "'");
+      }
+      const double scale = static_cast<double>(schema().table_size(rel)) / sum;
+      for (double& v : w) v *= scale;
+    }
+    preamble_ready = true;
+    return Status::OK();
+  }
+
+  // -- Active relation ------------------------------------------------------
+
+  void DeactivateRelation() {
+    if (!active.valid) return;
+    if (active.reserved > 0) budget.Release(active.reserved);
+    active = ActiveRel{};
+  }
+
+  Status ActivateRelation(size_t topo_index) {
+    if (active.valid && active.topo_index == topo_index) return Status::OK();
+    DeactivateRelation();
+    SAM_RETURN_NOT_OK(EnsurePreamble());
+
+    ActiveRel rc;
+    rc.topo_index = topo_index;
+    rc.name = topo[topo_index];
+    rc.layout = LayoutOf(rc.name);
+    rc.keyed = !rc.layout->pk.empty();
+    rc.children = schema().join_graph().Children(rc.name);
+    if (!rc.keyed && !rc.children.empty()) {
+      return Status::InvalidArgument("relation '" + rc.name +
+                                     "' has children but no primary key");
+    }
+    rc.group_cols =
+        rc.keyed ? sam->IdentifierColumns(rc.name)
+                 : schema().ColumnsOf(ModelColumnKind::kContent, rc.name);
+    for (const auto& child : rc.children) {
+      const SamModel::TableLayout* cl = LayoutOf(child);
+      const bool child_keyed = cl != nullptr && !cl->pk.empty();
+      rc.child_group_cols[child] =
+          child_keyed ? sam->IdentifierColumns(child)
+                      : schema().ColumnsOf(ModelColumnKind::kContent, child);
+    }
+
+    // Layout-column plan (mirrors the in-RAM emit_row).
+    std::unordered_set<size_t> needed;
+    for (const auto& cname : rc.layout->column_names) {
+      ColPlan cp;
+      if (!rc.layout->pk.empty() && cname == rc.layout->pk) {
+        cp.kind = ColPlan::Kind::kPk;
+      } else {
+        bool is_fk = false;
+        for (const auto& fk : rc.layout->fks) {
+          if (fk.column == cname) is_fk = true;
+        }
+        if (is_fk) {
+          cp.kind = ColPlan::Kind::kFk;
+        } else {
+          const int col =
+              schema().FindColumn(ModelColumnKind::kContent, rc.name, cname);
+          if (col < 0) {
+            return Status::Internal("content column missing from model: " +
+                                    rc.name + "." + cname);
+          }
+          cp.kind = ColPlan::Kind::kContent;
+          cp.model_col = static_cast<size_t>(col);
+          needed.insert(cp.model_col);
+        }
+      }
+      rc.col_plan.push_back(cp);
+    }
+    for (size_t c : rc.group_cols) needed.insert(c);
+    for (const auto& [child, cols] : rc.child_group_cols) {
+      for (size_t c : cols) needed.insert(c);
+    }
+
+    // The relation's resident working set — its needed code columns plus the
+    // weight array — is the irreducible per-relation memory floor.
+    const int64_t bytes =
+        static_cast<int64_t>(needed.size()) * static_cast<int64_t>(k) * 4 +
+        static_cast<int64_t>(k) * 8;
+    SAM_RETURN_NOT_OK(budget.Reserve(
+        bytes, "resident code columns + weight array for relation '" +
+                   rc.name + "' (the per-relation floor)"));
+    rc.reserved = bytes;
+    auto fail = [&](Status st) {
+      budget.Release(rc.reserved);
+      return st;
+    };
+
+    for (size_t c : needed) rc.resident[c].resize(k);
+    const size_t batch = options().generation_batch;
+    for (uint64_t b = 0; b < sample_batches; ++b) {
+      auto loaded = FojChunk::Load(Path(FojChunkName(b)));
+      if (!loaded.ok()) return fail(loaded.status());
+      FojChunk chunk = loaded.MoveValue();
+      ScopedReservation res(&budget);
+      Status st = res.Acquire(
+          FojChunk::BytesFor(chunk.rows, chunk.codes.size()),
+          "FOJ chunk buffer");
+      if (!st.ok()) return fail(st);
+      const uint64_t start = b * batch;
+      for (size_t c : needed) {
+        if (c >= chunk.codes.size()) {
+          return fail(Status::Internal("FOJ chunk " + FojChunkName(b) +
+                                       " is missing column " +
+                                       std::to_string(c)));
+        }
+        std::copy(chunk.codes[c].begin(), chunk.codes[c].end(),
+                  rc.resident[c].begin() + start);
+      }
+    }
+
+    // Re-apply the scaling step against the incoming virtual mass (Alg 2's
+    // size guarantee under dropped sub-threshold parent groups) — same
+    // renormalisation as the in-RAM path.
+    rc.w = w_base.at(rc.name);
+    double incoming = 0.0;
+    if (rc.name == schema().root()) {
+      for (double v : rc.w) incoming += v;
+    } else {
+      incoming = RelState(rc.name).incoming_mass;
+    }
+    if (incoming <= 0.0) {
+      return fail(
+          Status::Internal("no incoming mass for relation '" + rc.name + "'"));
+    }
+    const double renorm =
+        static_cast<double>(schema().table_size(rc.name)) / incoming;
+    for (double& v : rc.w) v *= renorm;
+
+    rc.valid = true;
+    active = std::move(rc);
+    return Status::OK();
+  }
+
+  // -- Group keys -----------------------------------------------------------
+
+  /// Key format matches the in-RAM path exactly:
+  /// "<fk>|<code>,<code>,...,".
+  std::string GroupKey(int64_t fk, uint32_t sample,
+                       const std::vector<size_t>& cols) const {
+    std::string key = std::to_string(fk);
+    key += '|';
+    for (size_t c : cols) {
+      key += std::to_string(active.resident.at(c)[sample]);
+      key += ',';
+    }
+    return key;
+  }
+
+  // -- Row emission ---------------------------------------------------------
+
+  void ClearRowBuffer() {
+    if (row_buf.reserved > 0) budget.Release(row_buf.reserved);
+    row_buf = RowBuffer{};
+  }
+
+  Status FlushRowChunk(const std::string& rel) {
+    if (row_buf.rows == 0) {
+      ClearRowBuffer();
+      return Status::OK();
+    }
+    auto& rs = RelState(rel);
+    const std::string name = RowChunkName(rel, rs.row_chunk_seq);
+    RowChunk chunk;
+    chunk.rows = row_buf.rows;
+    chunk.csv = std::move(row_buf.csv);
+    SAM_RETURN_NOT_OK(chunk.Save(Path(name)));
+    SAM_RETURN_NOT_OK(RecordChunk(name));
+    rs.row_chunk_seq++;
+    ClearRowBuffer();
+    return Status::OK();
+  }
+
+  Status AppendRow(const std::string& rel, const std::vector<Value>& row) {
+    AppendCsvRow(row, &row_buf.csv);
+    row_buf.rows++;
+    RelState(rel).rows_emitted++;
+    // Reserve buffer growth in 64 KiB slabs (per-byte reservations would
+    // dominate the profile).
+    const int64_t slab = 64ll << 10;
+    while (row_buf.reserved < static_cast<int64_t>(row_buf.csv.size())) {
+      SAM_RETURN_NOT_OK(
+          budget.Reserve(slab, "row buffer for relation '" + rel + "'"));
+      row_buf.reserved += slab;
+    }
+    if (static_cast<int64_t>(row_buf.csv.size()) >= RowFlushBytes()) {
+      SAM_RETURN_NOT_OK(FlushRowChunk(rel));
+    }
+    return Status::OK();
+  }
+
+  Status EmitRow(uint32_t sample, int64_t pk, int64_t fk, Rng* rng) {
+    std::vector<Value> row;
+    row.reserve(active.col_plan.size());
+    for (const auto& cp : active.col_plan) {
+      switch (cp.kind) {
+        case ColPlan::Kind::kPk:
+          row.emplace_back(pk);
+          break;
+        case ColPlan::Kind::kFk:
+          row.emplace_back(fk);
+          break;
+        case ColPlan::Kind::kContent: {
+          const ModelColumn& mc = schema().columns()[cp.model_col];
+          row.push_back(schema().DecodeContent(
+              mc, active.resident.at(cp.model_col)[sample], rng));
+          break;
+        }
+      }
+    }
+    return AppendRow(active.name, row);
+  }
+
+  // -- Child virtuals -------------------------------------------------------
+
+  void ClearVirtBuffers() {
+    for (auto& [key, buf] : virt_bufs) {
+      if (buf.reserved > 0) budget.Release(buf.reserved);
+    }
+    virt_bufs.clear();
+  }
+
+  Status FlushVirtBuffer(const std::string& child, size_t part) {
+    auto it = virt_bufs.find({child, part});
+    if (it == virt_bufs.end()) return Status::OK();
+    VirtBuffer& buf = it->second;
+    if (!buf.records.empty()) {
+      auto& cs = RelState(child);
+      const std::string name =
+          VirtChunkName(child, part, cs.virt_chunk_seq[part]);
+      VirtualChunk chunk;
+      chunk.records = std::move(buf.records);
+      SAM_RETURN_NOT_OK(chunk.Save(Path(name)));
+      SAM_RETURN_NOT_OK(RecordChunk(name));
+      cs.virt_chunk_seq[part]++;
+    }
+    if (buf.reserved > 0) budget.Release(buf.reserved);
+    virt_bufs.erase(it);
+    return Status::OK();
+  }
+
+  Status FlushAllVirtBuffers() {
+    while (!virt_bufs.empty()) {
+      const auto key = virt_bufs.begin()->first;
+      SAM_RETURN_NOT_OK(FlushVirtBuffer(key.first, key.second));
+    }
+    return Status::OK();
+  }
+
+  Status EmitChildVirtual(const std::string& child, uint32_t sample,
+                          double fraction, int64_t fk) {
+    // Zero-mass virtuals (top-up keys, zero-weight samples) are no-ops for
+    // every downstream consumer; never spilling them keeps chunks smaller
+    // without changing any output.
+    if (fraction <= 0.0) return Status::OK();
+    const std::string child_key =
+        GroupKey(fk, sample, active.child_group_cols.at(child));
+    const size_t part = HashKey(child_key) % partitions;
+    VirtBuffer& buf = virt_bufs[{child, part}];
+    buf.records.push_back(SpillVirtual{sample, fraction, fk});
+    RelState(child).incoming_mass += w_base.at(child)[sample] * fraction;
+    const int64_t slab = 16ll << 10;
+    while (buf.reserved < static_cast<int64_t>(buf.records.size() *
+                                               sizeof(SpillVirtual))) {
+      SAM_RETURN_NOT_OK(budget.Reserve(
+          slab, "virtual-sample buffer for relation '" + child + "'"));
+      buf.reserved += slab;
+    }
+    if (buf.records.size() >=
+        VirtFlushRecords(active.children.size() * partitions)) {
+      SAM_RETURN_NOT_OK(FlushVirtBuffer(child, part));
+    }
+    return Status::OK();
+  }
+
+  // -- Sample steps ---------------------------------------------------------
+
+  Status ExecSample(size_t batch_index) {
+    obs::TraceSpan span("generate/pipeline/sample");
+    const size_t batch = options().generation_batch;
+    const uint64_t start = static_cast<uint64_t>(batch_index) * batch;
+    const size_t rows =
+        static_cast<size_t>(std::min<uint64_t>(batch, k - start));
+    ScopedReservation res(&budget);
+    SAM_RETURN_NOT_OK(
+        res.Acquire(FojChunk::BytesFor(rows, schema().num_columns()),
+                    "sample batch codes"));
+    SamModel::FojSample foj =
+        sam->SampleFojBatch(state.base_seed, batch_index, rows);
+
+    if (multi) {
+      FojChunk chunk;
+      chunk.batch_index = batch_index;
+      chunk.rows = rows;
+      chunk.codes = std::move(foj.codes);
+      SAM_RETURN_NOT_OK(chunk.Save(Path(FojChunkName(batch_index))));
+      return RecordChunk(FojChunkName(batch_index));
+    }
+    // Single relation (Alg 1): decode the batch straight to one CSV row
+    // chunk; no weighting or key assignment applies.
+    return DecodeSingleRelationBatch(batch_index, rows, foj);
+  }
+
+  Status DecodeSingleRelationBatch(size_t batch_index, size_t rows,
+                                   const SamModel::FojSample& foj) {
+    const SamModel::TableLayout& layout = sam->layouts()[0];
+    Rng rng(DeriveSeed(state.base_seed, "decode|" + layout.name + "|batch|" +
+                                            std::to_string(batch_index)));
+    std::vector<const ModelColumn*> cols;
+    std::vector<size_t> col_idx;
+    for (const auto& cname : layout.column_names) {
+      const int col =
+          schema().FindColumn(ModelColumnKind::kContent, layout.name, cname);
+      if (col < 0) {
+        return Status::Internal("generated column missing from model: " +
+                                cname);
+      }
+      cols.push_back(&schema().columns()[static_cast<size_t>(col)]);
+      col_idx.push_back(static_cast<size_t>(col));
+    }
+    std::vector<Value> row(cols.size(), Value::Null());
+    for (size_t r = 0; r < rows; ++r) {
+      for (size_t c = 0; c < cols.size(); ++c) {
+        row[c] =
+            schema().DecodeContent(*cols[c], foj.codes[col_idx[c]][r], &rng);
+      }
+      SAM_RETURN_NOT_OK(AppendRow(layout.name, row));
+    }
+    // One durable row chunk per sample batch.
+    return FlushRowChunk(layout.name);
+  }
+
+  // -- Partition steps (Group-and-Merge) ------------------------------------
+
+  Status ExecPartition(size_t rel_i, size_t part) {
+    obs::TraceSpan span("generate/pipeline/partition");
+    SAM_RETURN_NOT_OK(ActivateRelation(rel_i));
+    Rng rng(DeriveSeed(state.base_seed, "decode|" + active.name + "|part|" +
+                                            std::to_string(part)));
+
+    // Gather this partition's virtual samples.
+    std::vector<SpillVirtual> virtuals;
+    ScopedReservation virt_res(&budget);
+    if (active.name == schema().root()) {
+      // Root virtuals are implicit: every positively-weighted sample at
+      // fraction 1 with no parent key; partitioned by its own group key.
+      for (uint64_t s = 0; s < k; ++s) {
+        if (active.w[s] <= 0.0) continue;
+        if (partitions > 1) {
+          const std::string key =
+              GroupKey(-1, static_cast<uint32_t>(s), active.group_cols);
+          if (HashKey(key) % partitions != part) continue;
+        }
+        virtuals.push_back(SpillVirtual{static_cast<uint32_t>(s), 1.0, -1});
+      }
+      SAM_RETURN_NOT_OK(
+          virt_res.Acquire(VirtualChunk::BytesFor(virtuals.size()),
+                           "root virtual samples"));
+    } else {
+      const auto& rs = RelState(active.name);
+      for (uint64_t seq = 0; seq < rs.virt_chunk_seq[part]; ++seq) {
+        const std::string name = VirtChunkName(active.name, part, seq);
+        SAM_ASSIGN_OR_RETURN(VirtualChunk chunk,
+                             VirtualChunk::Load(Path(name)));
+        SAM_RETURN_NOT_OK(
+            virt_res.Acquire(VirtualChunk::BytesFor(chunk.records.size()),
+                             "virtual samples for relation '" + active.name +
+                                 "'"));
+        virtuals.insert(virtuals.end(), chunk.records.begin(),
+                        chunk.records.end());
+      }
+    }
+
+    // Group in first-appearance order. ~96 bytes of group state per virtual
+    // (key strings + member slots), reserved up front so a pathological
+    // partition fails cleanly instead of OOMing.
+    std::vector<Group> groups;
+    ScopedReservation group_res(&budget);
+    SAM_RETURN_NOT_OK(group_res.Acquire(
+        static_cast<int64_t>(virtuals.size()) * 96,
+        "merge-group table for relation '" + active.name + "' partition " +
+            std::to_string(part)));
+    {
+      std::unordered_map<std::string, size_t> group_index;
+      for (const auto& v : virtuals) {
+        const double wv = active.w[v.sample] * v.fraction;
+        if (wv <= 0.0) continue;
+        const std::string key =
+            GroupKey(v.fk_value, v.sample, active.group_cols);
+        auto [it, inserted] = group_index.try_emplace(key, groups.size());
+        if (inserted) {
+          groups.emplace_back();
+          groups.back().fk = v.fk_value;
+          groups.back().key_hash = HashKey(key);
+        }
+        Group& g = groups[it->second];
+        g.members.emplace_back(v.sample, v.fraction);
+        g.mass += wv;
+      }
+    }
+
+    if (active.keyed) {
+      SAM_RETURN_NOT_OK(ExecKeyedPartition(part, groups, &rng));
+    } else {
+      SAM_RETURN_NOT_OK(ExecLeafPartition(part, groups, &rng));
+    }
+    SAM_RETURN_NOT_OK(FlushRowChunk(active.name));
+    return FlushAllVirtBuffers();
+  }
+
+  Status ExecKeyedPartition(size_t part, const std::vector<Group>& groups,
+                            Rng* rng) {
+    auto& rs = RelState(active.name);
+
+    // Pass 1 (Alg 3 lines 9-17): merge within each group, assigning a key
+    // whenever the accumulated scaled weight reaches 1. Sub-unit leftovers
+    // spill for the global pass 2.
+    LeftoverChunk leftover_chunk;
+    for (const Group& g : groups) {
+      std::vector<LeftoverMember> set_to_merge;
+      double weight_sum = 0.0;
+      for (const auto& [sample, fraction] : g.members) {
+        double remaining = active.w[sample] * fraction;
+        // A single virtual may span several primary keys (scaled weight > 1
+        // after filling the current merge set).
+        while (remaining > 0.0) {
+          const double take = std::min(remaining, 1.0 - weight_sum);
+          set_to_merge.push_back(LeftoverMember{sample, take});
+          weight_sum += take;
+          remaining -= take;
+          if (weight_sum >= 1.0 - 1e-12) {
+            SAM_RETURN_NOT_OK(AssignKey(set_to_merge, g.fk, rng, &rs));
+            set_to_merge.clear();
+            weight_sum = 0.0;
+          }
+        }
+      }
+      if (weight_sum > 1e-9 && !set_to_merge.empty()) {
+        LeftoverSet set;
+        set.weight = weight_sum;
+        set.fk_value = g.fk;
+        set.members = std::move(set_to_merge);
+        leftover_chunk.sets.push_back(std::move(set));
+      }
+    }
+    if (!leftover_chunk.sets.empty()) {
+      const std::string name = LeftoverChunkName(active.name, part);
+      SAM_RETURN_NOT_OK(leftover_chunk.Save(Path(name)));
+      SAM_RETURN_NOT_OK(RecordChunk(name));
+    }
+
+    // Group digests for the shortfall top-up: (mass, key hash, representative
+    // sample), a pure function of pre-assignment state, so pass 2 can derive
+    // the identical heaviest-group order without the group tables resident.
+    if (!groups.empty()) {
+      GroupSummaryChunk summary_chunk;
+      summary_chunk.groups.reserve(groups.size());
+      for (const Group& g : groups) {
+        summary_chunk.groups.push_back(
+            GroupSummary{g.mass, g.key_hash, g.members.front().first, g.fk});
+      }
+      const std::string name = SummaryChunkName(active.name, part);
+      SAM_RETURN_NOT_OK(summary_chunk.Save(Path(name)));
+      SAM_RETURN_NOT_OK(RecordChunk(name));
+    }
+    return Status::OK();
+  }
+
+  /// Assigns the next primary key to a merge set: emit one row from the
+  /// first member, then hand each member's consumed share down to every
+  /// child as a virtual (mirrors the in-RAM assign_key).
+  Status AssignKey(const std::vector<LeftoverMember>& members, int64_t fk,
+                   Rng* rng, GenerationCheckpoint::RelationState* rs) {
+    if (members.empty()) {
+      return Status::Internal("empty merge set for relation '" + active.name +
+                              "'");
+    }
+    SAM_RETURN_NOT_OK(EmitRow(members.front().sample, rs->pk_counter, fk, rng));
+    for (const auto& m : members) {
+      const double sample_total = active.w[m.sample];
+      const double child_fraction =
+          sample_total > 0.0 ? m.take / sample_total : 0.0;
+      for (const auto& child : active.children) {
+        SAM_RETURN_NOT_OK(
+            EmitChildVirtual(child, m.sample, child_fraction, rs->pk_counter));
+      }
+    }
+    rs->pk_counter++;
+    return Status::OK();
+  }
+
+  Status ExecLeafPartition(size_t part, const std::vector<Group>& groups,
+                           Rng* rng) {
+    auto& rs = RelState(active.name);
+    // Leaf relation: emit round(mass) copies per aggregated group with the
+    // carry threaded globally across partitions through the checkpoint.
+    for (const Group& g : groups) {
+      const uint32_t sample = g.members.front().first;
+      // Snap near-integer masses (same float-drift guard as the in-RAM path).
+      double mass = g.mass;
+      const double rounded = std::round(mass);
+      if (std::fabs(mass - rounded) < 1e-6) mass = rounded;
+      rs.leaf_carry += mass;
+      while (rs.leaf_carry >= 1.0) {
+        SAM_RETURN_NOT_OK(EmitRow(sample, -1, g.fk, rng));
+        rs.leaf_carry -= 1.0;
+      }
+      rs.leaf_last_valid = true;
+      rs.leaf_last_sample = sample;
+      rs.leaf_last_fk = g.fk;
+    }
+    if (part + 1 == partitions) {
+      // End of the relation: the final sub-threshold tuple goes to the last
+      // aggregated group seen anywhere.
+      if (rs.leaf_carry >= options().leftover_key_threshold &&
+          rs.leaf_last_valid) {
+        SAM_RETURN_NOT_OK(
+            EmitRow(rs.leaf_last_sample, -1, rs.leaf_last_fk, rng));
+      } else if (rs.leaf_carry > 0.0 && obs::MetricsEnabled()) {
+        obs::MetricsRegistry::Global()
+            .GetGauge("sam.generate.leftover_mass_dropped")
+            ->Add(rs.leaf_carry);
+      }
+      rs.leaf_carry = 0.0;
+      rs.leaf_last_valid = false;
+    }
+    return Status::OK();
+  }
+
+  // -- Pass 2: global leftover assignment + shortfall top-up ----------------
+
+  Status ExecPass2(size_t rel_i) {
+    obs::TraceSpan span("generate/pipeline/pass2");
+    SAM_RETURN_NOT_OK(ActivateRelation(rel_i));
+    auto& rs = RelState(active.name);
+    Rng rng(DeriveSeed(state.base_seed, "decode|" + active.name + "|pass2"));
+
+    // Load every partition's leftover sets. The global order is
+    // (weight desc, partition asc, in-chunk index asc) — a pure function of
+    // pass-1 outputs, so a resumed run reproduces it exactly.
+    struct IndexedSet {
+      double weight = 0.0;
+      size_t part = 0;
+      size_t idx = 0;
+      LeftoverSet set;
+    };
+    std::vector<IndexedSet> leftovers;
+    ScopedReservation res(&budget);
+    for (size_t p = 0; p < partitions; ++p) {
+      const std::string name = LeftoverChunkName(active.name, p);
+      if (!HasManifest(name)) continue;
+      SAM_ASSIGN_OR_RETURN(LeftoverChunk chunk,
+                           LeftoverChunk::Load(Path(name)));
+      int64_t bytes = 0;
+      for (const auto& s : chunk.sets) {
+        bytes += 48 + static_cast<int64_t>(s.members.size()) * 16;
+      }
+      SAM_RETURN_NOT_OK(res.Acquire(
+          bytes, "leftover merge sets for relation '" + active.name + "'"));
+      for (size_t i = 0; i < chunk.sets.size(); ++i) {
+        leftovers.push_back(
+            IndexedSet{chunk.sets[i].weight, p, i, std::move(chunk.sets[i])});
+      }
+    }
+    std::sort(leftovers.begin(), leftovers.end(),
+              [](const IndexedSet& a, const IndexedSet& b) {
+                if (a.weight != b.weight) return a.weight > b.weight;
+                if (a.part != b.part) return a.part < b.part;
+                return a.idx < b.idx;
+              });
+
+    const int64_t target = schema().table_size(active.name);
+    double dropped_mass = 0.0;
+    for (const auto& ls : leftovers) {
+      if (rs.pk_counter >= target) {
+        dropped_mass += ls.weight;
+        continue;
+      }
+      SAM_RETURN_NOT_OK(AssignKey(ls.set.members, ls.set.fk_value, &rng, &rs));
+    }
+
+    if (rs.pk_counter < target) {
+      // Shortfall: top up round-robin from the heaviest groups, using the
+      // digests pass 1 spilled. Topped-up keys repeat already-emitted
+      // content and their child virtuals would carry zero mass, so none are
+      // emitted (same semantics as the in-RAM consumed=0 top-up).
+      const int64_t shortfall = target - rs.pk_counter;
+      struct IndexedSummary {
+        GroupSummary g;
+        size_t part = 0;
+        size_t idx = 0;
+      };
+      std::vector<IndexedSummary> heavy;
+      ScopedReservation heavy_res(&budget);
+      for (size_t p = 0; p < partitions; ++p) {
+        const std::string name = SummaryChunkName(active.name, p);
+        if (!HasManifest(name)) continue;
+        SAM_ASSIGN_OR_RETURN(GroupSummaryChunk chunk,
+                             GroupSummaryChunk::Load(Path(name)));
+        SAM_RETURN_NOT_OK(heavy_res.Acquire(
+            static_cast<int64_t>(chunk.groups.size()) * 48,
+            "group summaries for relation '" + active.name + "'"));
+        for (size_t i = 0; i < chunk.groups.size(); ++i) {
+          heavy.push_back(IndexedSummary{chunk.groups[i], p, i});
+        }
+      }
+      if (heavy.empty()) {
+        return Status::Internal(
+            "relation '" + active.name + "' is " + std::to_string(shortfall) +
+            " row(s) short of |T| with no merge groups to draw from");
+      }
+      std::sort(heavy.begin(), heavy.end(),
+                [](const IndexedSummary& a, const IndexedSummary& b) {
+                  if (a.g.mass != b.g.mass) return a.g.mass > b.g.mass;
+                  if (a.g.key_hash != b.g.key_hash) {
+                    return a.g.key_hash < b.g.key_hash;
+                  }
+                  if (a.part != b.part) return a.part < b.part;
+                  return a.idx < b.idx;
+                });
+      for (size_t i = 0; rs.pk_counter < target; i = (i + 1) % heavy.size()) {
+        SAM_RETURN_NOT_OK(EmitRow(heavy[i].g.sample, rs.pk_counter,
+                                  heavy[i].g.fk_value, &rng));
+        rs.pk_counter++;
+      }
+      SAM_LOG(Warn) << "relation '" << active.name
+                    << "': leftover merge sets ran out " << shortfall
+                    << " row(s) short of |T|=" << target
+                    << "; topped up from the heaviest groups";
+      obs::MetricsRegistry::Global()
+          .GetCounter("sam.generate.shortfall_rows")
+          ->Add(static_cast<uint64_t>(shortfall));
+    }
+    if (dropped_mass > 0.0 && obs::MetricsEnabled()) {
+      obs::MetricsRegistry::Global()
+          .GetGauge("sam.generate.leftover_mass_dropped")
+          ->Add(dropped_mass);
+    }
+    SAM_RETURN_NOT_OK(FlushRowChunk(active.name));
+    return FlushAllVirtBuffers();
+  }
+
+  // -- Assembly + publish ---------------------------------------------------
+
+  Status ExecAssemble(size_t table_i) {
+    obs::TraceSpan span("generate/pipeline/assemble");
+    DeactivateRelation();  // Assembly needs no resident columns or weights.
+    ReleasePreamble();
+    const SamModel::TableLayout& layout = sam->layouts()[table_i];
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    fs::create_directories(StagingDir(), ec);
+    if (ec) {
+      return Status::IOError("cannot create staging dir '" + StagingDir() +
+                             "': " + ec.message());
+    }
+    SAM_ASSIGN_OR_RETURN(
+        AtomicFileWriter writer,
+        AtomicFileWriter::Open(StagingDir() + "/" + layout.name + ".csv"));
+    std::string header;
+    AppendCsvHeader(layout.column_names, &header);
+    SAM_RETURN_NOT_OK(writer.Append(header));
+    const auto& rs = RelState(layout.name);
+    for (uint64_t seq = 0; seq < rs.row_chunk_seq; ++seq) {
+      SAM_ASSIGN_OR_RETURN(RowChunk chunk,
+                           RowChunk::Load(Path(RowChunkName(layout.name, seq))));
+      ScopedReservation res(&budget);
+      SAM_RETURN_NOT_OK(res.Acquire(static_cast<int64_t>(chunk.csv.size()),
+                                    "row chunk buffer"));
+      SAM_RETURN_NOT_OK(writer.Append(chunk.csv));
+    }
+    SAM_RETURN_NOT_OK(writer.Commit());
+    if (obs::MetricsEnabled()) {
+      auto& reg = obs::MetricsRegistry::Global();
+      reg.GetGauge("sam.generate.rows." + layout.name)
+          ->Set(static_cast<double>(rs.rows_emitted));
+      reg.GetGauge("sam.generate.target_rows." + layout.name)
+          ->Set(static_cast<double>(schema().table_size(layout.name)));
+    }
+    return Status::OK();
+  }
+
+  Status ExecPublish() {
+    obs::TraceSpan span("generate/pipeline/publish");
+    namespace fs = std::filesystem;
+    if (fs::exists(StagingDir())) {
+      // Schema file (same format as SaveSchema), then the all-or-nothing
+      // swap.
+      std::string schema_text;
+      for (const auto& layout : sam->layouts()) {
+        schema_text += "table " + layout.name + "\n";
+        for (size_t c = 0; c < layout.column_names.size(); ++c) {
+          schema_text += "column " + layout.column_names[c] + " " +
+                         ColumnTypeToString(layout.column_types[c]) + "\n";
+        }
+        if (!layout.pk.empty()) schema_text += "pk " + layout.pk + "\n";
+        for (const auto& fk : layout.fks) {
+          schema_text += "fk " + fk.column + " " + fk.parent_table + " " +
+                         fk.parent_column + "\n";
+        }
+      }
+      SAM_RETURN_NOT_OK(
+          AtomicWriteFile(StagingDir() + "/schema.txt", schema_text));
+      return PromoteStagingDir(StagingDir(), opts.out_dir);
+    }
+    if (fs::exists(opts.out_dir)) {
+      // Replayed publish (crash between the swap and the final checkpoint):
+      // the database is already live.
+      return Status::OK();
+    }
+    return Status::IOError("publish step found neither staging dir '" +
+                           StagingDir() + "' nor published output '" +
+                           opts.out_dir + "'");
+  }
+
+  // -- Checkpointing / driver ----------------------------------------------
+
+  Status SaveCheckpoint() {
+    state.peak_reserved = std::max(state.peak_reserved, budget.peak());
+    state.rows_total = 0;
+    for (const auto& rs : state.relations) state.rows_total += rs.rows_emitted;
+    SAM_RETURN_NOT_OK(
+        state.Save(Path(GenerationCheckpointFileName(state.next_step))));
+    obs::MetricsRegistry::Global()
+        .GetCounter("sam.generate.checkpoints")
+        ->Add(1);
+    PruneGenerationCheckpoints(opts.work_dir, opts.checkpoint_keep);
+    return Status::OK();
+  }
+
+  bool StopRequested() const {
+    return opts.stop_flag != nullptr &&
+           opts.stop_flag->load(std::memory_order_relaxed);
+  }
+
+  Status ExecStep(const Step& s) {
+    switch (s.kind) {
+      case Step::Kind::kSample:
+        return ExecSample(s.index);
+      case Step::Kind::kPartition:
+        return ExecPartition(s.rel, s.index);
+      case Step::Kind::kPass2:
+        return ExecPass2(s.rel);
+      case Step::Kind::kAssemble:
+        return ExecAssemble(s.rel);
+      case Step::Kind::kPublish:
+        return ExecPublish();
+    }
+    return Status::Internal("unknown pipeline step kind");
+  }
+
+  Result<GenerationRunSummary> Run() {
+    SAM_RETURN_NOT_OK(Init());
+    GenerationRunSummary summary;
+    summary.steps_total = plan.size();
+    summary.resumed_from = resumed_from;
+
+    uint64_t since_checkpoint = 0;
+    const uint64_t every =
+        static_cast<uint64_t>(options().generation_checkpoint_every);
+    while (state.next_step < plan.size()) {
+      if (StopRequested() ||
+          (opts.stop_after_steps > 0 &&
+           summary.steps_executed >= opts.stop_after_steps)) {
+        SAM_RETURN_NOT_OK(SaveCheckpoint());
+        FillSummary(&summary, /*completed=*/false);
+        SAM_LOG(Info) << "generation stopped at step " << state.next_step
+                      << "/" << plan.size() << " (checkpoint saved)";
+        return summary;
+      }
+      SAM_RETURN_NOT_OK(ExecStep(plan[state.next_step]));
+      state.next_step++;
+      summary.steps_executed++;
+      since_checkpoint++;
+      if (state.next_step < plan.size() && since_checkpoint >= every) {
+        SAM_RETURN_NOT_OK(SaveCheckpoint());
+        since_checkpoint = 0;
+      }
+    }
+
+    DeactivateRelation();
+    ReleasePreamble();
+    FillSummary(&summary, /*completed=*/true);
+    if (opts.keep_work_dir) {
+      SAM_RETURN_NOT_OK(SaveCheckpoint());
+    } else {
+      std::error_code ec;
+      std::filesystem::remove_all(opts.work_dir, ec);  // Best effort.
+    }
+    return summary;
+  }
+
+  void FillSummary(GenerationRunSummary* summary, bool completed) {
+    summary->completed = completed;
+    summary->next_step = state.next_step;
+    summary->rows_written = 0;
+    for (const auto& rs : state.relations) {
+      summary->rows_written += rs.rows_emitted;
+    }
+    summary->spill_bytes = state.spill_bytes;
+    summary->peak_reserved = std::max(state.peak_reserved, budget.peak());
+  }
+};
+
+// ---------------------------------------------------------------------------
+
+GenerationPipeline::GenerationPipeline(const SamModel* sam,
+                                       GenerationPipelineOptions options)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->sam = sam;
+  impl_->opts = std::move(options);
+}
+
+GenerationPipeline::~GenerationPipeline() = default;
+
+Result<GenerationRunSummary> GenerationPipeline::Run() { return impl_->Run(); }
+
+uint64_t GenerationPipeline::Fingerprint() const {
+  return impl_->ComputeFingerprint();
+}
+
+}  // namespace sam

@@ -24,6 +24,14 @@ Status ValidateSamOptions(const SamOptions& options) {
     return Status::InvalidArgument(
         "SamOptions.sampler_threads must be positive");
   }
+  if (options.memory_cap_bytes <= 0) {
+    return Status::InvalidArgument(
+        "SamOptions.memory_cap_bytes must be positive");
+  }
+  if (options.generation_checkpoint_every <= 0) {
+    return Status::InvalidArgument(
+        "SamOptions.generation_checkpoint_every must be positive");
+  }
   return Status::OK();
 }
 
@@ -77,16 +85,13 @@ Result<double> SamModel::EstimateCardinality(const Query& q, size_t paths) const
   return estimator.EstimateCardinality(q);
 }
 
-SamModel::FojSample SamModel::SampleFoj(size_t k, Rng* rng) const {
-  obs::TraceSpan foj_span("generate/sample_foj");
-  // `generation_batch` is validated positive in Create, but SampleFoj is
-  // callable on its own; a zero batch would loop forever below.
-  SAM_CHECK(options_.generation_batch > 0)
-      << "generation_batch must be positive";
+void SamModel::SampleFojBatchInto(FojSample* out, size_t start, size_t batch,
+                                  Rng* batch_rng) const {
+  obs::TraceSpan batch_span("generate/foj_batch");
+  static obs::Counter* foj_samples =
+      obs::MetricsRegistry::Global().GetCounter("sam.foj.samples");
+  foj_samples->Add(batch);
   const size_t n_cols = schema_.num_columns();
-  FojSample out;
-  out.count = k;
-  out.codes.assign(n_cols, std::vector<int32_t>(k));
 
   // Indicator column index per FK relation, for NULL-consistency forcing.
   std::unordered_map<std::string, size_t> indicator_col;
@@ -96,50 +101,65 @@ SamModel::FojSample SamModel::SampleFoj(size_t k, Rng* rng) const {
     }
   }
 
-  // One batch of progressive sampling into out[start, start+batch).
-  auto sample_batch = [&](size_t start, size_t batch, Rng* batch_rng) {
-    obs::TraceSpan batch_span("generate/foj_batch");
-    static obs::Counter* foj_samples =
-        obs::MetricsRegistry::Global().GetCounter("sam.foj.samples");
-    foj_samples->Add(batch);
-    MadeModel::SamplerState state = model_->InitState(batch);
-    // Sampled indicator codes of this batch, per FK relation.
-    std::unordered_map<std::string, std::vector<int32_t>> batch_indicators;
-    std::vector<int32_t> codes(batch);
-    for (size_t col = 0; col < n_cols; ++col) {
-      const ModelColumn& mc = schema_.columns()[col];
-      const Matrix& probs = model_->CondProbs(state, col);
-      for (size_t r = 0; r < batch; ++r) {
-        // Sample straight from the probability row; the old per-row copy into
-        // a scratch vector dominated the sampling profile on wide columns.
-        int64_t pick = batch_rng->Categorical(probs.row(r), mc.domain_size);
-        if (pick < 0) pick = 0;
-        codes[r] = static_cast<int32_t>(pick);
-      }
-      if (options_.enforce_null_consistency &&
-          mc.kind != ModelColumnKind::kIndicator) {
-        const auto it = indicator_col.find(mc.table);
-        if (it != indicator_col.end()) {
-          // The relation's indicator may be ordered *after* this column, in
-          // which case it has not been sampled yet and no forcing applies
-          // (operator[] would otherwise materialise an empty vector and
-          // ind[r] would read out of bounds).
-          const auto bit = batch_indicators.find(mc.table);
-          if (bit != batch_indicators.end() && bit->second.size() == batch) {
-            const auto& ind = bit->second;
-            for (size_t r = 0; r < batch; ++r) {
-              if (ind[r] == 0) codes[r] = 0;  // NULL token / fanout value 1.
-            }
+  MadeModel::SamplerState state = model_->InitState(batch);
+  // Sampled indicator codes of this batch, per FK relation.
+  std::unordered_map<std::string, std::vector<int32_t>> batch_indicators;
+  std::vector<int32_t> codes(batch);
+  for (size_t col = 0; col < n_cols; ++col) {
+    const ModelColumn& mc = schema_.columns()[col];
+    const Matrix& probs = model_->CondProbs(state, col);
+    for (size_t r = 0; r < batch; ++r) {
+      // Sample straight from the probability row; the old per-row copy into
+      // a scratch vector dominated the sampling profile on wide columns.
+      int64_t pick = batch_rng->Categorical(probs.row(r), mc.domain_size);
+      if (pick < 0) pick = 0;
+      codes[r] = static_cast<int32_t>(pick);
+    }
+    if (options_.enforce_null_consistency &&
+        mc.kind != ModelColumnKind::kIndicator) {
+      const auto it = indicator_col.find(mc.table);
+      if (it != indicator_col.end()) {
+        // The relation's indicator may be ordered *after* this column, in
+        // which case it has not been sampled yet and no forcing applies
+        // (operator[] would otherwise materialise an empty vector and
+        // ind[r] would read out of bounds).
+        const auto bit = batch_indicators.find(mc.table);
+        if (bit != batch_indicators.end() && bit->second.size() == batch) {
+          const auto& ind = bit->second;
+          for (size_t r = 0; r < batch; ++r) {
+            if (ind[r] == 0) codes[r] = 0;  // NULL token / fanout value 1.
           }
         }
       }
-      if (mc.kind == ModelColumnKind::kIndicator) {
-        batch_indicators[mc.table] = codes;
-      }
-      model_->Observe(&state, col, codes);
-      for (size_t r = 0; r < batch; ++r) out.codes[col][start + r] = codes[r];
     }
-  };
+    if (mc.kind == ModelColumnKind::kIndicator) {
+      batch_indicators[mc.table] = codes;
+    }
+    model_->Observe(&state, col, codes);
+    for (size_t r = 0; r < batch; ++r) out->codes[col][start + r] = codes[r];
+  }
+}
+
+SamModel::FojSample SamModel::SampleFojBatch(uint64_t base_seed,
+                                             size_t batch_index,
+                                             size_t rows) const {
+  FojSample out;
+  out.count = rows;
+  out.codes.assign(schema_.num_columns(), std::vector<int32_t>(rows));
+  Rng batch_rng(FojBatchSeed(base_seed, batch_index));
+  SampleFojBatchInto(&out, 0, rows, &batch_rng);
+  return out;
+}
+
+SamModel::FojSample SamModel::SampleFoj(size_t k, Rng* rng) const {
+  obs::TraceSpan foj_span("generate/sample_foj");
+  // `generation_batch` is validated positive in Create, but SampleFoj is
+  // callable on its own; a zero batch would loop forever below.
+  SAM_CHECK(options_.generation_batch > 0)
+      << "generation_batch must be positive";
+  FojSample out;
+  out.count = k;
+  out.codes.assign(schema_.num_columns(), std::vector<int32_t>(k));
 
   // Batch start offsets.
   std::vector<size_t> starts;
@@ -148,20 +168,18 @@ SamModel::FojSample SamModel::SampleFoj(size_t k, Rng* rng) const {
   }
 
   // Sampling is embarrassingly parallel (§4.2): batches are independent, and
-  // every batch derives its RNG from the caller seed by batch index — in the
-  // sequential path too — so the sample is bit-identical for every
-  // sampler_threads value. The model is only read.
+  // every batch derives its RNG from the caller seed by batch index (via
+  // FojBatchSeed) — in the sequential path too — so the sample is
+  // bit-identical for every sampler_threads value. The model is only read.
   const uint64_t base_seed = rng->engine()();
-  auto batch_seed = [base_seed](size_t i) {
-    return base_seed ^ (0x9e3779b97f4a7c15ULL * (i + 1));
-  };
 
   if (options_.sampler_threads <= 1 || starts.size() <= 1) {
     for (size_t i = 0; i < starts.size(); ++i) {
       const size_t start = starts[i];
-      Rng batch_rng(batch_seed(i));
-      sample_batch(start, std::min(options_.generation_batch, k - start),
-                   &batch_rng);
+      Rng batch_rng(FojBatchSeed(base_seed, i));
+      SampleFojBatchInto(&out, start,
+                         std::min(options_.generation_batch, k - start),
+                         &batch_rng);
     }
     return out;
   }
@@ -169,9 +187,10 @@ SamModel::FojSample SamModel::SampleFoj(size_t k, Rng* rng) const {
   ThreadPool pool(options_.sampler_threads);
   pool.ParallelFor(starts.size(), [&](size_t i) {
     const size_t start = starts[i];
-    Rng shard_rng(batch_seed(i));
-    sample_batch(start, std::min(options_.generation_batch, k - start),
-                 &shard_rng);
+    Rng shard_rng(FojBatchSeed(base_seed, i));
+    SampleFojBatchInto(&out, start,
+                       std::min(options_.generation_batch, k - start),
+                       &shard_rng);
   });
   return out;
 }
@@ -550,6 +569,32 @@ Result<Database> SamModel::GenerateFromFoj(const FojSample& foj, Rng* rng) const
         groups[key].push_back(vi);
       }
 
+      // Heaviest-group ordering for the shortfall top-up, fixed *before* any
+      // key assignment: it is a pure function of the merge groups and the
+      // scaled weights, so a resumed out-of-core run (which replays key
+      // assignment from a checkpoint cursor) derives the identical top-up
+      // sequence. Computing it lazily inside the shortfall branch would tie
+      // the ordering to post-assignment state.
+      struct HeavyGroup {
+        double mass = 0.0;
+        const std::string* key = nullptr;
+        const std::vector<size_t>* members = nullptr;
+      };
+      std::vector<HeavyGroup> heavy;
+      heavy.reserve(groups.size());
+      for (const auto& [gkey, members] : groups) {
+        double mass = 0.0;
+        for (size_t vi : members) {
+          mass += w_scaled[virtuals[vi].sample] * virtuals[vi].fraction;
+        }
+        heavy.push_back(HeavyGroup{mass, &gkey, &members});
+      }
+      std::sort(heavy.begin(), heavy.end(),
+                [](const HeavyGroup& a, const HeavyGroup& b) {
+                  if (a.mass != b.mass) return a.mass > b.mass;
+                  return *a.key < *b.key;  // Deterministic tie-break.
+                });
+
       int64_t counter = 0;
       // Pending child virtuals keyed by the new primary keys.
       std::unordered_map<std::string, std::vector<VirtualSample>> per_child_out;
@@ -623,30 +668,11 @@ Result<Database> SamModel::GenerateFromFoj(const FojSample& foj, Rng* rng) const
         // downstream per-relation cardinality, so top up by re-assigning keys
         // to the heaviest groups round-robin.
         const int64_t shortfall = target - counter;
-        struct HeavyGroup {
-          double mass = 0.0;
-          const std::string* key = nullptr;
-          const std::vector<size_t>* members = nullptr;
-        };
-        std::vector<HeavyGroup> heavy;
-        heavy.reserve(groups.size());
-        for (const auto& [gkey, members] : groups) {
-          double mass = 0.0;
-          for (size_t vi : members) {
-            mass += w_scaled[virtuals[vi].sample] * virtuals[vi].fraction;
-          }
-          heavy.push_back(HeavyGroup{mass, &gkey, &members});
-        }
         if (heavy.empty()) {
           return Status::Internal(
               "relation '" + rel + "' is " + std::to_string(shortfall) +
               " row(s) short of |T| with no merge groups to draw from");
         }
-        std::sort(heavy.begin(), heavy.end(),
-                  [](const HeavyGroup& a, const HeavyGroup& b) {
-                    if (a.mass != b.mass) return a.mass > b.mass;
-                    return *a.key < *b.key;  // Deterministic tie-break.
-                  });
         for (size_t i = 0; counter < target; i = (i + 1) % heavy.size()) {
           const std::vector<size_t>& members = *heavy[i].members;
           std::vector<std::pair<size_t, double>> set_to_merge;

@@ -53,6 +53,16 @@ struct SamOptions {
   /// fanout columns before its indicator disable NULL-consistency forcing for
   /// those columns (the indicator is not yet sampled at forcing time).
   std::vector<size_t> column_order;
+  /// Budget for the out-of-core generation pipeline's data-proportional
+  /// structures (resident code columns, weight arrays, spill buffers, group
+  /// tables). The pipeline spills harder as the cap tightens and fails with a
+  /// clean error — never an OOM kill — when the irreducible per-relation
+  /// floor does not fit (docs/GENERATION.md). Ignored by the in-RAM
+  /// `SamModel::Generate` path.
+  int64_t memory_cap_bytes = 256ll << 20;
+  /// Durable pipeline steps between generation checkpoints (out-of-core
+  /// pipeline only).
+  int64_t generation_checkpoint_every = 8;
 };
 
 /// Validates the generation-side knobs (the training side is covered by
@@ -98,7 +108,24 @@ class SamModel {
 
   const ModelSchema& schema() const { return schema_; }
   MadeModel* model() { return model_.get(); }
+  const MadeModel* model() const { return model_.get(); }
+  const SamOptions& options() const { return options_; }
   const std::vector<DpsEpochStats>& training_stats() const { return stats_; }
+
+  /// Original column order per table, to lay out generated tables.
+  struct TableLayout {
+    std::string name;
+    std::vector<std::string> column_names;
+    std::vector<ColumnType> column_types;
+    std::string pk;                 ///< Empty when none.
+    std::vector<ForeignKey> fks;
+  };
+  /// One layout per relation, in the source database's table order.
+  const std::vector<TableLayout>& layouts() const { return layouts_; }
+
+  /// Model-column indices of Identifier(T.pk) per Theorem 2 (the grouping
+  /// key of Group-and-Merge; shared with the out-of-core pipeline).
+  std::vector<size_t> IdentifierColumns(const std::string& table) const;
 
   /// \brief One sampled FOJ tuple set as raw model codes (k x num_columns),
   /// exposed for tests and the ablation harness.
@@ -109,6 +136,21 @@ class SamModel {
 
   /// Samples `k` FOJ tuples from the model (step 1 of Alg 2).
   FojSample SampleFoj(size_t k, Rng* rng) const;
+
+  /// RNG seed of sample batch `batch_index` for a run whose caller RNG
+  /// produced `base_seed`. `SampleFoj` derives every batch seed through this
+  /// function, so external batch-at-a-time samplers (the out-of-core
+  /// pipeline) draw bit-identical batches.
+  static uint64_t FojBatchSeed(uint64_t base_seed, size_t batch_index) {
+    return base_seed ^ (0x9e3779b97f4a7c15ULL * (batch_index + 1));
+  }
+
+  /// Samples one generation batch of `rows` FOJ tuples as its own FojSample,
+  /// using the batch RNG `FojBatchSeed(base_seed, batch_index)`. The codes
+  /// are bit-identical to rows [batch_index * generation_batch, ... + rows)
+  /// of a `SampleFoj` call whose caller RNG produced the same `base_seed`.
+  FojSample SampleFojBatch(uint64_t base_seed, size_t batch_index,
+                           size_t rows) const;
 
   /// Inverse-probability weight of relation `table` for sample `s` (Eq. 4);
   /// 0 when the relation is absent (indicator 0).
@@ -127,21 +169,14 @@ class SamModel {
   Result<Database> GenerateSingleRelation(Rng* rng) const;
   Result<Database> GenerateMultiRelation(Rng* rng) const;
 
-  /// Model-column indices of Identifier(T.pk) per Theorem 2.
-  std::vector<size_t> IdentifierColumns(const std::string& table) const;
+  /// Progressive-samples one batch into `out->codes[*][start, start+batch)`.
+  void SampleFojBatchInto(FojSample* out, size_t start, size_t batch,
+                          Rng* batch_rng) const;
 
   ModelSchema schema_;
   SamOptions options_;
   std::unique_ptr<MadeModel> model_;
   std::vector<DpsEpochStats> stats_;
-  /// Original column order per table, to lay out generated tables.
-  struct TableLayout {
-    std::string name;
-    std::vector<std::string> column_names;
-    std::vector<ColumnType> column_types;
-    std::string pk;                 ///< Empty when none.
-    std::vector<ForeignKey> fks;
-  };
   std::vector<TableLayout> layouts_;
 };
 

@@ -8,6 +8,9 @@
 #include <chrono>
 #include <cstring>
 #include <fstream>
+#include <thread>
+
+#include "common/logging.h"
 
 #include "obs/metrics_registry.h"
 #include "obs/trace.h"
@@ -47,13 +50,18 @@ bool FaultFires() {
   return true;
 }
 
+/// True when `err` is worth retrying: transient device hiccups, not
+/// deterministic failures like ENOSPC or a bad path.
+bool IsTransientErrno(int err) { return err == EIO || err == EAGAIN; }
+
 Status WriteAllBytes(int fd, const char* data, size_t len,
-                     const std::string& path) {
+                     const std::string& path, int* err_out) {
   size_t done = 0;
   while (done < len) {
     const ssize_t n = ::write(fd, data + done, len - done);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (err_out != nullptr) *err_out = errno;
       return Status::IOError("write failed for '" + path + "': " +
                              std::strerror(errno));
     }
@@ -93,14 +101,36 @@ void FlipBitInFile(const std::string& path, long long byte_offset) {
 
 /// Shared commit path: writes `blob` to `path + ".tmp"`, fsyncs, renames.
 /// Injected faults leave the filesystem exactly as the simulated crash
-/// would (see ArtifactFaultInjection).
-Status CommitBlobImpl(const std::string& path, const std::string& blob) {
+/// would (see ArtifactFaultInjection). `*transient` is set when the failure
+/// is a retryable device hiccup (injected or real EIO/EAGAIN) rather than a
+/// deterministic error.
+Status CommitBlobImpl(const std::string& path, const std::string& blob,
+                      bool* transient) {
+  *transient = false;
+  // Transient faults are consumed per *attempt*, before the per-commit
+  // crash-fault accounting, so `skip_commits` keeps counting commits rather
+  // than attempts.
+  if (g_faults_active && g_faults.transient_failures > 0) {
+    --g_faults.transient_failures;
+    *transient = true;
+    return Status::IOError("injected fault: transient I/O error (EIO) writing '" +
+                           path + "'");
+  }
   const bool faulty = FaultFires();
   const std::string tmp = path + ".tmp";
   const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) {
     return Status::IOError("cannot open '" + tmp + "' for writing: " +
                            std::strerror(errno));
+  }
+  if (faulty && g_faults.enospc) {
+    // A full disk is a *reported* write error, not a crash: the staged temp
+    // file is cleaned up and the caller sees a clean, non-retryable IOError.
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return Status::IOError("write failed for '" + tmp +
+                           "': " + std::strerror(ENOSPC) +
+                           " (injected ENOSPC)");
   }
 
   size_t to_write = blob.size();
@@ -115,10 +145,13 @@ Status CommitBlobImpl(const std::string& path, const std::string& blob) {
     }
   }
 
-  const Status write_st = WriteAllBytes(fd, blob.data(), to_write, tmp);
+  int write_errno = 0;
+  const Status write_st =
+      WriteAllBytes(fd, blob.data(), to_write, tmp, &write_errno);
   if (!write_st.ok()) {
     ::close(fd);
     ::unlink(tmp.c_str());  // Real error, not a simulated crash: clean up.
+    *transient = IsTransientErrno(write_errno);
     return write_st;
   }
   if (injected_torn_write) {
@@ -159,12 +192,37 @@ Status CommitBlobImpl(const std::string& path, const std::string& blob) {
   return Status::OK();
 }
 
+/// Retry loop around the raw commit: transient failures (EIO/EAGAIN, real
+/// or injected) are retried with exponential backoff up to
+/// `kMaxCommitAttempts` total attempts; anything else fails immediately.
+Status CommitBlobWithRetry(const std::string& path, const std::string& blob) {
+  static obs::Counter* retries =
+      obs::MetricsRegistry::Global().GetCounter("sam.artifact.retries_total");
+  Status st;
+  for (int attempt = 1; attempt <= kMaxCommitAttempts; ++attempt) {
+    bool transient = false;
+    st = CommitBlobImpl(path, blob, &transient);
+    if (st.ok() || !transient) return st;
+    if (attempt == kMaxCommitAttempts) break;
+    retries->Add(1);
+    const auto backoff = std::chrono::milliseconds(5LL << (attempt - 1));
+    SAM_LOG(Warn) << "transient write failure for '" << path << "' (attempt "
+                  << attempt << "/" << kMaxCommitAttempts << "), retrying in "
+                  << backoff.count() << "ms: " << st.ToString();
+    std::this_thread::sleep_for(backoff);
+  }
+  return Status::IOError("commit of '" + path + "' failed after " +
+                         std::to_string(kMaxCommitAttempts) +
+                         " attempts (transient errors persisted): " +
+                         st.ToString());
+}
+
 /// Observed commit path shared by AtomicWriteFile and ArtifactWriter. The
 /// trace/metrics writers themselves land here, after their snapshots are
 /// taken, so instrumenting the commit never feeds back into the output.
 Status CommitBlob(const std::string& path, const std::string& blob) {
   obs::TraceSpan span("artifact/commit");
-  if (!obs::MetricsEnabled()) return CommitBlobImpl(path, blob);
+  if (!obs::MetricsEnabled()) return CommitBlobWithRetry(path, blob);
   static obs::Counter* commits =
       obs::MetricsRegistry::Global().GetCounter("sam.artifact.commits");
   static obs::Counter* bytes =
@@ -173,7 +231,7 @@ Status CommitBlob(const std::string& path, const std::string& blob) {
       obs::MetricsRegistry::Global().GetHistogram(
           "sam.artifact.commit_seconds");
   const auto t0 = std::chrono::steady_clock::now();
-  const Status st = CommitBlobImpl(path, blob);
+  const Status st = CommitBlobWithRetry(path, blob);
   seconds->Observe(
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count());
@@ -208,6 +266,144 @@ Status AtomicWriteFile(const std::string& path, const std::string& contents) {
   return CommitBlob(path, contents);
 }
 
+Result<AtomicFileWriter> AtomicFileWriter::Open(const std::string& path) {
+  AtomicFileWriter w;
+  w.path_ = path;
+  w.tmp_ = path + ".tmp";
+  w.fd_ = ::open(w.tmp_.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (w.fd_ < 0) {
+    return Status::IOError("cannot open '" + w.tmp_ + "' for writing: " +
+                           std::strerror(errno));
+  }
+  return w;
+}
+
+AtomicFileWriter::AtomicFileWriter(AtomicFileWriter&& other) noexcept
+    : path_(std::move(other.path_)),
+      tmp_(std::move(other.tmp_)),
+      fd_(other.fd_),
+      bytes_written_(other.bytes_written_) {
+  other.fd_ = -1;
+  other.tmp_.clear();
+}
+
+AtomicFileWriter& AtomicFileWriter::operator=(AtomicFileWriter&& other) noexcept {
+  if (this != &other) {
+    Abandon();
+    path_ = std::move(other.path_);
+    tmp_ = std::move(other.tmp_);
+    fd_ = other.fd_;
+    bytes_written_ = other.bytes_written_;
+    other.fd_ = -1;
+    other.tmp_.clear();
+  }
+  return *this;
+}
+
+AtomicFileWriter::~AtomicFileWriter() { Abandon(); }
+
+void AtomicFileWriter::Abandon() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+    if (!tmp_.empty()) ::unlink(tmp_.c_str());
+  }
+}
+
+Status AtomicFileWriter::Append(const char* data, size_t len) {
+  if (fd_ < 0) {
+    return Status::Internal("AtomicFileWriter for '" + path_ +
+                            "' is closed (committed or moved from)");
+  }
+  int write_errno = 0;
+  const Status st = WriteAllBytes(fd_, data, len, tmp_, &write_errno);
+  if (!st.ok()) {
+    Abandon();  // Reported error: no staged temp file left behind.
+    return st;
+  }
+  bytes_written_ += len;
+  return Status::OK();
+}
+
+Status AtomicFileWriter::Commit() {
+  if (fd_ < 0) {
+    return Status::Internal("AtomicFileWriter for '" + path_ +
+                            "' is closed (committed or moved from)");
+  }
+  // The fault seam fires once per streamed commit, mirroring the buffered
+  // path: crash modes leave the filesystem as the real crash would, reported
+  // errors clean up the staged file.
+  if (g_faults_active && g_faults.transient_failures > 0) {
+    // Transient hiccups at the commit barrier retry with backoff; the bytes
+    // already staged stay valid across attempts.
+    static obs::Counter* retries =
+        obs::MetricsRegistry::Global().GetCounter("sam.artifact.retries_total");
+    int attempt = 1;
+    while (g_faults.transient_failures > 0) {
+      --g_faults.transient_failures;
+      if (attempt >= kMaxCommitAttempts) {
+        Abandon();
+        return Status::IOError("commit of '" + path_ + "' failed after " +
+                               std::to_string(kMaxCommitAttempts) +
+                               " attempts (transient errors persisted)");
+      }
+      retries->Add(1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(5LL << (attempt - 1)));
+      ++attempt;
+    }
+  }
+  const bool faulty = FaultFires();
+  if (faulty && g_faults.enospc) {
+    Abandon();
+    return Status::IOError("write failed for '" + tmp_ +
+                           "': " + std::strerror(ENOSPC) +
+                           " (injected ENOSPC)");
+  }
+  if (faulty && g_faults.fail_write_at_byte >= 0 &&
+      static_cast<unsigned long long>(g_faults.fail_write_at_byte) <
+          bytes_written_) {
+    // Simulated crash mid-write: truncated temp file stays, target untouched.
+    ::ftruncate(fd_, static_cast<off_t>(g_faults.fail_write_at_byte));
+    ::close(fd_);
+    fd_ = -1;
+    tmp_.clear();  // Deliberately leave the torn temp file, like a crash.
+    return Status::IOError("injected fault: crash after writing " +
+                           std::to_string(g_faults.fail_write_at_byte) +
+                           " of " + std::to_string(bytes_written_) +
+                           " bytes to '" + path_ + ".tmp'");
+  }
+  if (faulty && g_faults.truncate_on_close) {
+    // Lying close: half the bytes reach disk but the commit reports success.
+    ::ftruncate(fd_, static_cast<off_t>(bytes_written_ / 2));
+  }
+  if (::fsync(fd_) != 0) {
+    const Status st = Status::IOError("fsync failed for '" + tmp_ + "': " +
+                                      std::strerror(errno));
+    Abandon();
+    return st;
+  }
+  ::close(fd_);
+  fd_ = -1;
+  if (faulty && g_faults.torn_rename) {
+    tmp_.clear();  // Complete temp file stays; target path untouched.
+    return Status::IOError("injected fault: crash before renaming '" + path_ +
+                           ".tmp' over '" + path_ + "'");
+  }
+  if (::rename(tmp_.c_str(), path_.c_str()) != 0) {
+    const Status st = Status::IOError("rename '" + tmp_ + "' -> '" + path_ +
+                                      "' failed: " + std::strerror(errno));
+    ::unlink(tmp_.c_str());
+    tmp_.clear();
+    return st;
+  }
+  FsyncParentDir(path_);
+  if (faulty && g_faults.bit_flip_at_byte >= 0) {
+    FlipBitInFile(path_, g_faults.bit_flip_at_byte);
+  }
+  tmp_.clear();
+  return Status::OK();
+}
+
 ArtifactWriter::ArtifactWriter(std::string kind, uint32_t version)
     : kind_(std::move(kind)), version_(version) {
   kind_.resize(kKindBytes, '\0');
@@ -236,6 +432,10 @@ void ArtifactWriter::PutMatrix(const Matrix& m) {
   PutU64(m.rows());
   PutU64(m.cols());
   PutRaw(m.data(), m.size() * sizeof(double));
+}
+
+size_t ArtifactWriter::committed_size() const {
+  return kHeaderBytes + payload_.size();
 }
 
 Status ArtifactWriter::Commit(const std::string& path) const {

@@ -51,6 +51,15 @@ struct ArtifactFaultInjection {
   /// >= 0: after a fully successful commit, flip one bit at this byte
   /// offset (mod file size) in the final file, simulating bit rot.
   long long bit_flip_at_byte = -1;
+  /// The disk is full: the write fails with ENOSPC semantics. Unlike the
+  /// crash modes above this is a *reported* error, so the commit path cleans
+  /// up its staged temp file and the failure is not retried (a full disk
+  /// stays full).
+  bool enospc = false;
+  /// > 0: this many commit *attempts* fail with a transient EIO before the
+  /// next attempt succeeds (decremented per attempt, independent of
+  /// `skip_commits`). Exercises the bounded retry + backoff path.
+  int transient_failures = 0;
 };
 
 /// Installs / clears the global fault-injection seam (tests only).
@@ -60,7 +69,56 @@ void ClearArtifactFaultInjectionForTest();
 /// \brief Writes `contents` to `path` with atomic temp+fsync+rename
 /// semantics (no header/checksum — used for interoperable text formats:
 /// CSVs, schema files, workloads). Goes through the fault-injection seam.
+///
+/// Transient write failures (EIO/EAGAIN) are retried up to
+/// `kMaxCommitAttempts` times with exponential backoff; every retry bumps
+/// the `sam.artifact.retries_total` counter, and exhausting the budget
+/// fails with an `IOError` naming the path. Hard failures (ENOSPC, bad
+/// paths) are not retried and leave no staged temp file behind.
 Status AtomicWriteFile(const std::string& path, const std::string& contents);
+
+/// Retry budget for transient commit failures (total attempts, so N - 1
+/// retries). Exposed for the fault-injection tests.
+constexpr int kMaxCommitAttempts = 4;
+
+/// \brief Streaming variant of `AtomicWriteFile` for outputs too large to
+/// buffer under a memory cap (out-of-core CSV assembly).
+///
+/// Bytes are appended straight to `path + ".tmp"`; `Commit()` fsyncs and
+/// renames into place (honouring the fault-injection seam), so the target
+/// path is still all-or-nothing even though the payload never lives in RAM.
+/// Destroying an uncommitted writer unlinks the temp file.
+class AtomicFileWriter {
+ public:
+  static Result<AtomicFileWriter> Open(const std::string& path);
+
+  AtomicFileWriter(AtomicFileWriter&& other) noexcept;
+  AtomicFileWriter& operator=(AtomicFileWriter&& other) noexcept;
+  AtomicFileWriter(const AtomicFileWriter&) = delete;
+  AtomicFileWriter& operator=(const AtomicFileWriter&) = delete;
+  ~AtomicFileWriter();
+
+  Status Append(const char* data, size_t len);
+  Status Append(const std::string& data) {
+    return Append(data.data(), data.size());
+  }
+
+  uint64_t bytes_written() const { return bytes_written_; }
+
+  /// Fsync + rename into place. After a successful Commit the writer is
+  /// inert; a failed Commit cleans up the temp file.
+  Status Commit();
+
+ private:
+  AtomicFileWriter() = default;
+
+  void Abandon();
+
+  std::string path_;
+  std::string tmp_;
+  int fd_ = -1;
+  uint64_t bytes_written_ = 0;
+};
 
 /// \brief Serialises one artifact payload and commits it atomically.
 class ArtifactWriter {
@@ -78,8 +136,13 @@ class ArtifactWriter {
   void PutString(const std::string& s);
   /// u64 rows + u64 cols + row-major doubles.
   void PutMatrix(const Matrix& m);
+  /// Raw bytes with no length prefix (bulk arrays whose size the caller
+  /// serialises separately — spill chunk code/record runs).
+  void PutBytes(const void* data, size_t len) { PutRaw(data, len); }
 
   size_t payload_size() const { return payload_.size(); }
+  /// Total on-disk size after Commit (header + payload).
+  size_t committed_size() const;
 
   /// Atomically publishes the artifact at `path` (see file comment).
   Status Commit(const std::string& path) const;
@@ -115,6 +178,8 @@ class ArtifactReader {
   Result<bool> GetBool();
   Result<std::string> GetString();
   Result<Matrix> GetMatrix();
+  /// Bounds-checked bulk read of `len` raw bytes (pairs with `PutBytes`).
+  Status GetBytes(void* out, size_t len) { return GetRaw(out, len); }
 
   /// Fails unless every payload byte has been consumed (catches writer/
   /// reader schema drift and trailing garbage).

@@ -9,24 +9,41 @@
 
 namespace sam {
 
+void AppendCsvHeader(const std::vector<std::string>& column_names,
+                     std::string* out) {
+  for (size_t c = 0; c < column_names.size(); ++c) {
+    if (c > 0) out->push_back(',');
+    out->append(column_names[c]);
+  }
+  out->push_back('\n');
+}
+
+void AppendCsvRow(const std::vector<Value>& row, std::string* out) {
+  for (size_t c = 0; c < row.size(); ++c) {
+    if (c > 0) out->push_back(',');
+    if (!row[c].is_null()) out->append(row[c].ToString());
+  }
+  out->push_back('\n');
+}
+
 Status WriteCsv(const Table& table, const std::string& path) {
   // Serialise fully, then atomically rename into place so a crash can never
   // leave a half-written CSV at the target path.
-  std::ostringstream out;
+  std::string out;
+  std::vector<std::string> names;
+  names.reserve(table.num_columns());
   for (size_t c = 0; c < table.num_columns(); ++c) {
-    if (c > 0) out << ',';
-    out << table.column(c).name();
+    names.push_back(table.column(c).name());
   }
-  out << '\n';
+  AppendCsvHeader(names, &out);
+  std::vector<Value> row(table.num_columns());
   for (size_t r = 0; r < table.num_rows(); ++r) {
     for (size_t c = 0; c < table.num_columns(); ++c) {
-      if (c > 0) out << ',';
-      const Value v = table.column(c).ValueAt(r);
-      if (!v.is_null()) out << v.ToString();
+      row[c] = table.column(c).ValueAt(r);
     }
-    out << '\n';
+    AppendCsvRow(row, &out);
   }
-  return AtomicWriteFile(path, out.str());
+  return AtomicWriteFile(path, out);
 }
 
 Result<Table> ReadCsv(const std::string& name, const std::string& path,

@@ -11,6 +11,16 @@ namespace sam {
 /// as empty fields.
 Status WriteCsv(const Table& table, const std::string& path);
 
+/// Appends the CSV header line for `column_names` (comma-joined,
+/// '\n'-terminated). Shared by `WriteCsv` and the out-of-core generation
+/// pipeline so streamed output is byte-identical to the in-RAM writer.
+void AppendCsvHeader(const std::vector<std::string>& column_names,
+                     std::string* out);
+
+/// Appends one CSV data row: empty field for NULL, `Value::ToString`
+/// otherwise, '\n'-terminated. Counterpart of `AppendCsvHeader`.
+void AppendCsvRow(const std::vector<Value>& row, std::string* out);
+
 /// \brief Reads a CSV with a header row into a table.
 ///
 /// `types` gives the column types in file order; fields are parsed

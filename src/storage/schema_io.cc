@@ -94,30 +94,14 @@ Status SaveDatabase(const Database& db, const std::string& dir) {
   return Status::OK();
 }
 
-Status SaveDatabaseAtomic(const Database& db, const std::string& dir) {
+Status PromoteStagingDir(const std::string& staging, const std::string& dir) {
   namespace fs = std::filesystem;
   std::error_code ec;
   const fs::path target(dir);
   if (target.has_parent_path()) {
     fs::create_directories(target.parent_path(), ec);  // Best effort.
   }
-  const std::string staging = dir + ".staging";
-  fs::remove_all(staging, ec);
   ec.clear();
-  fs::create_directories(staging, ec);
-  if (ec) {
-    return Status::IOError("cannot create staging dir '" + staging + "': " +
-                           ec.message());
-  }
-  const Status st = SaveDatabase(db, staging);
-  if (!st.ok()) {
-    fs::remove_all(staging, ec);
-    return st;
-  }
-  // Swap: move any previous output aside, promote the staging dir, then drop
-  // the old copy. The only non-atomic window is between the two renames; a
-  // crash there leaves the complete new database under `.staging` and the
-  // complete old one under `.old` — never a torn mix under `dir`.
   const std::string old = dir + ".old";
   fs::remove_all(old, ec);
   ec.clear();
@@ -137,6 +121,25 @@ Status SaveDatabaseAtomic(const Database& db, const std::string& dir) {
   }
   fs::remove_all(old, ec);
   return Status::OK();
+}
+
+Status SaveDatabaseAtomic(const Database& db, const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  const std::string staging = dir + ".staging";
+  fs::remove_all(staging, ec);
+  ec.clear();
+  fs::create_directories(staging, ec);
+  if (ec) {
+    return Status::IOError("cannot create staging dir '" + staging + "': " +
+                           ec.message());
+  }
+  const Status st = SaveDatabase(db, staging);
+  if (!st.ok()) {
+    fs::remove_all(staging, ec);
+    return st;
+  }
+  return PromoteStagingDir(staging, dir);
 }
 
 Result<Database> LoadDatabase(const std::string& dir) {

@@ -35,6 +35,16 @@ Status SaveDatabase(const Database& db, const std::string& dir);
 /// directories of `dir` are created as needed.
 Status SaveDatabaseAtomic(const Database& db, const std::string& dir);
 
+/// \brief Swaps a fully-staged directory into place as `dir` (the publish
+/// half of `SaveDatabaseAtomic`, shared with the out-of-core generation
+/// pipeline): any previous `dir` is moved aside to `<dir>.old`, `staging` is
+/// renamed to `dir`, then the old copy is dropped. The only non-atomic
+/// window is between the two renames; a crash there leaves the complete new
+/// output under `staging` and the complete old one under `<dir>.old` —
+/// never a torn mix under `dir`. Parent directories of `dir` are created as
+/// needed.
+Status PromoteStagingDir(const std::string& staging, const std::string& dir);
+
 /// \brief Loads a database saved with SaveDatabase and validates integrity.
 Result<Database> LoadDatabase(const std::string& dir);
 

@@ -7,6 +7,7 @@
 #include <filesystem>
 #include <fstream>
 
+#include "obs/metrics_registry.h"
 #include "storage/artifact_io.h"
 
 namespace sam {
@@ -270,6 +271,150 @@ TEST_F(ArtifactIoTest, SkipCommitsDelaysTheFault) {
   ClearArtifactFaultInjectionForTest();
   EXPECT_TRUE(std::filesystem::exists(dir + "/first.bin"));
   EXPECT_FALSE(std::filesystem::exists(dir + "/second.bin"));
+}
+
+TEST_F(ArtifactIoTest, TransientFailuresAreRetriedToSuccess) {
+  obs::EnableMetrics(true);
+  obs::Counter* retries =
+      obs::MetricsRegistry::Global().GetCounter("sam.artifact.retries_total");
+  const uint64_t before = retries->Value();
+
+  const std::string path = TempDir("sam_fault_transient") + "/a.bin";
+  ArtifactFaultInjection f;
+  f.transient_failures = 2;  // Two EIO hiccups, then the device recovers.
+  SetArtifactFaultInjectionForTest(f);
+  ArtifactWriter w("TESTKIND", 1);
+  w.PutString("lands on the third attempt");
+  EXPECT_TRUE(w.Commit(path).ok());
+  ClearArtifactFaultInjectionForTest();
+  obs::EnableMetrics(false);
+
+  EXPECT_EQ(retries->Value(), before + 2);
+  auto r = ArtifactReader::Open(path, "TESTKIND");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.ValueOrDie().GetString().ValueOrDie(),
+            "lands on the third attempt");
+}
+
+TEST_F(ArtifactIoTest, PersistentTransientFailuresExhaustTheRetryBudget) {
+  const std::string path = TempDir("sam_fault_persist") + "/a.bin";
+  ArtifactFaultInjection f;
+  f.transient_failures = kMaxCommitAttempts;  // Never recovers in budget.
+  SetArtifactFaultInjectionForTest(f);
+  ArtifactWriter w("TESTKIND", 1);
+  w.PutU32(1);
+  const Status st = w.Commit(path);
+  ClearArtifactFaultInjectionForTest();
+
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kIOError);
+  // The hard failure names the path and the exhausted attempt budget.
+  EXPECT_NE(st.ToString().find(path), std::string::npos) << st.ToString();
+  EXPECT_NE(st.ToString().find(std::to_string(kMaxCommitAttempts)),
+            std::string::npos)
+      << st.ToString();
+  EXPECT_FALSE(std::filesystem::exists(path));
+}
+
+TEST_F(ArtifactIoTest, EnospcIsNotRetriedAndCleansTheTempFile) {
+  const std::string dir = TempDir("sam_fault_enospc");
+  const std::string path = dir + "/a.bin";
+  ArtifactFaultInjection f;
+  f.enospc = true;
+  SetArtifactFaultInjectionForTest(f);
+  ArtifactWriter w("TESTKIND", 1);
+  w.PutU32(1);
+  const Status st = w.Commit(path);
+  ClearArtifactFaultInjectionForTest();
+
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kIOError);
+  EXPECT_NE(st.ToString().find("No space left"), std::string::npos)
+      << st.ToString();
+  // Deterministic error, not a crash: both target and staging are clean.
+  EXPECT_FALSE(std::filesystem::exists(path));
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+}
+
+TEST_F(ArtifactIoTest, AtomicFileWriterStreamsAndCommits) {
+  const std::string path = TempDir("sam_afw_rt") + "/t.csv";
+  auto w = AtomicFileWriter::Open(path);
+  ASSERT_TRUE(w.ok()) << w.status().ToString();
+  ASSERT_TRUE(w.ValueOrDie().Append("header\n").ok());
+  ASSERT_TRUE(w.ValueOrDie().Append("row\n").ok());
+  EXPECT_EQ(w.ValueOrDie().bytes_written(), 11u);
+  // Nothing is visible at the target until Commit.
+  EXPECT_FALSE(std::filesystem::exists(path));
+  ASSERT_TRUE(w.ValueOrDie().Commit().ok());
+  EXPECT_EQ(ReadAll(path), "header\nrow\n");
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+}
+
+TEST_F(ArtifactIoTest, AtomicFileWriterDestructorDiscardsUncommitted) {
+  const std::string path = TempDir("sam_afw_drop") + "/t.csv";
+  {
+    auto w = AtomicFileWriter::Open(path);
+    ASSERT_TRUE(w.ok()) << w.status().ToString();
+    ASSERT_TRUE(w.ValueOrDie().Append("doomed\n").ok());
+  }
+  EXPECT_FALSE(std::filesystem::exists(path));
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+}
+
+TEST_F(ArtifactIoTest, AtomicFileWriterFaultSweep) {
+  const std::string dir = TempDir("sam_afw_fault");
+
+  {
+    // Crash mid-write: truncated temp stays, target never appears.
+    ArtifactFaultInjection f;
+    f.fail_write_at_byte = 3;
+    SetArtifactFaultInjectionForTest(f);
+    auto w = AtomicFileWriter::Open(dir + "/a.csv");
+    ASSERT_TRUE(w.ok());
+    ASSERT_TRUE(w.ValueOrDie().Append("0123456789").ok());
+    EXPECT_FALSE(w.ValueOrDie().Commit().ok());
+    ClearArtifactFaultInjectionForTest();
+    EXPECT_FALSE(std::filesystem::exists(dir + "/a.csv"));
+  }
+  {
+    // Crash between fsync and rename.
+    ArtifactFaultInjection f;
+    f.torn_rename = true;
+    SetArtifactFaultInjectionForTest(f);
+    auto w = AtomicFileWriter::Open(dir + "/b.csv");
+    ASSERT_TRUE(w.ok());
+    ASSERT_TRUE(w.ValueOrDie().Append("x").ok());
+    EXPECT_FALSE(w.ValueOrDie().Commit().ok());
+    ClearArtifactFaultInjectionForTest();
+    EXPECT_FALSE(std::filesystem::exists(dir + "/b.csv"));
+  }
+  {
+    // Full disk at the commit barrier: clean error, staging removed.
+    ArtifactFaultInjection f;
+    f.enospc = true;
+    SetArtifactFaultInjectionForTest(f);
+    auto w = AtomicFileWriter::Open(dir + "/c.csv");
+    ASSERT_TRUE(w.ok());
+    ASSERT_TRUE(w.ValueOrDie().Append("x").ok());
+    const Status st = w.ValueOrDie().Commit();
+    ClearArtifactFaultInjectionForTest();
+    ASSERT_FALSE(st.ok());
+    EXPECT_EQ(st.code(), StatusCode::kIOError);
+    EXPECT_FALSE(std::filesystem::exists(dir + "/c.csv"));
+    EXPECT_FALSE(std::filesystem::exists(dir + "/c.csv.tmp"));
+  }
+  {
+    // Transient hiccups at the barrier are absorbed by the retry loop.
+    ArtifactFaultInjection f;
+    f.transient_failures = 2;
+    SetArtifactFaultInjectionForTest(f);
+    auto w = AtomicFileWriter::Open(dir + "/d.csv");
+    ASSERT_TRUE(w.ok());
+    ASSERT_TRUE(w.ValueOrDie().Append("survives\n").ok());
+    EXPECT_TRUE(w.ValueOrDie().Commit().ok());
+    ClearArtifactFaultInjectionForTest();
+    EXPECT_EQ(ReadAll(dir + "/d.csv"), "survives\n");
+  }
 }
 
 TEST_F(ArtifactIoTest, Crc32MatchesKnownVector) {

@@ -41,6 +41,7 @@
 #include "obs/json.h"
 #include "obs/metrics_registry.h"
 #include "obs/trace.h"
+#include "sam/generation_pipeline.h"
 #include "sam/sam_model.h"
 #include "storage/schema_io.h"
 #include "workload/generator.h"
@@ -352,22 +353,77 @@ int CmdGenerate(const Flags& flags) {
   if (model_path.empty() || out.empty()) {
     return Fail("generate: --model=FILE and --out=DIR are required");
   }
+
+  SamOptions options = OptionsFromFlags(flags);
+  options.generation_batch = static_cast<size_t>(
+      flags.GetInt("gen-batch", static_cast<int64_t>(options.generation_batch)));
+  if (flags.Has("memory-cap")) {
+    const int64_t cap_mib = flags.GetInt("memory-cap", 0);
+    if (cap_mib < 0) return Fail("generate: --memory-cap=MiB must be >= 0");
+    options.memory_cap_bytes = cap_mib << 20;
+  }
+  options.generation_checkpoint_every =
+      flags.GetInt("checkpoint-every", options.generation_checkpoint_every);
+
   auto sam = SamModel::Create(in.db, in.workload, in.hints, in.foj_size,
-                              OptionsFromFlags(flags));
+                              options);
   if (!sam.ok()) return FailStatus(sam.status());
   Status st = sam.ValueOrDie()->model()->Load(model_path);
   if (!st.ok()) return FailStatus(st);
   sam.ValueOrDie()->model()->SyncSamplerWeights();
 
-  auto gen = sam.ValueOrDie()->Generate();
-  if (!gen.ok()) return FailStatus(gen.status());
-  // All-or-nothing publish: `out` never holds a partially generated database.
-  st = SaveDatabaseAtomic(gen.ValueOrDie(), out);
-  if (!st.ok()) return FailStatus(st);
-  for (const auto& t : gen.ValueOrDie().tables()) {
-    std::printf("%-20s %zu rows\n", t.name().c_str(), t.num_rows());
+  // The crash-safe out-of-core pipeline engages when any of its flags is
+  // present; otherwise generation stays on the in-RAM path. Both publish
+  // `out` all-or-nothing — it never holds a partially generated database.
+  const bool out_of_core = flags.Has("checkpoint-dir") ||
+                           flags.GetBool("resume") || flags.Has("memory-cap") ||
+                           flags.Has("stop-after-steps");
+  if (!out_of_core) {
+    auto gen = sam.ValueOrDie()->Generate();
+    if (!gen.ok()) return FailStatus(gen.status());
+    st = SaveDatabaseAtomic(gen.ValueOrDie(), out);
+    if (!st.ok()) return FailStatus(st);
+    for (const auto& t : gen.ValueOrDie().tables()) {
+      std::printf("%-20s %zu rows\n", t.name().c_str(), t.num_rows());
+    }
+    std::printf("wrote synthetic database to %s\n", out.c_str());
+    return 0;
   }
-  std::printf("wrote synthetic database to %s\n", out.c_str());
+
+  GenerationPipelineOptions popts;
+  popts.out_dir = out;
+  popts.work_dir = flags.Get("checkpoint-dir", out + ".work");
+  popts.resume = flags.GetBool("resume");
+  popts.stop_flag = &g_stop_requested;
+  popts.stop_after_steps =
+      static_cast<uint64_t>(flags.GetInt("stop-after-steps", 0));
+  popts.checkpoint_keep =
+      static_cast<size_t>(flags.GetInt("checkpoint-keep", 3));
+  popts.keep_work_dir = flags.GetBool("keep-work");
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+
+  GenerationPipeline pipeline(sam.ValueOrDie().get(), popts);
+  auto run = pipeline.Run();
+  if (!run.ok()) return FailStatus(run.status());
+  const GenerationRunSummary& s = run.ValueOrDie();
+  if (!s.completed) {
+    std::printf(
+        "generation stopped at step %llu/%llu; checkpoint saved in %s "
+        "(rerun with --resume to continue)\n",
+        static_cast<unsigned long long>(s.next_step),
+        static_cast<unsigned long long>(s.steps_total), popts.work_dir.c_str());
+    return 0;
+  }
+  std::printf(
+      "wrote synthetic database to %s (%llu rows, %llu/%llu steps%s, "
+      "%.1f KiB spilled, peak reserved %.1f KiB)\n",
+      out.c_str(), static_cast<unsigned long long>(s.rows_written),
+      static_cast<unsigned long long>(s.steps_executed),
+      static_cast<unsigned long long>(s.steps_total),
+      s.resumed_from.empty() ? "" : " after resume",
+      static_cast<double>(s.spill_bytes) / 1024.0,
+      static_cast<double>(s.peak_reserved) / 1024.0);
   return 0;
 }
 
@@ -588,7 +644,15 @@ int Usage() {
       "            bit-identical to an uninterrupted run (see\n"
       "            docs/CHECKPOINTING.md).\n"
       "  generate  --db=DIR --workload=FILE --hints=... --model=FILE --out=DIR\n"
-      "            [--foj-samples=K] [--no-group-and-merge]\n"
+      "            [--foj-samples=K] [--gen-batch=N] [--no-group-and-merge]\n"
+      "            [--checkpoint-dir=DIR] [--checkpoint-every=N]\n"
+      "            [--checkpoint-keep=N] [--resume] [--memory-cap=MiB]\n"
+      "            [--stop-after-steps=N] [--keep-work]\n"
+      "            Any of the bracketed crash-safety flags selects the\n"
+      "            out-of-core pipeline: spill files + checkpoints live in\n"
+      "            --checkpoint-dir (default OUT.work), SIGINT/SIGTERM\n"
+      "            checkpoint and exit 0, and --resume continues to a\n"
+      "            byte-identical database (see docs/GENERATION.md).\n"
       "  evaluate  --original=DIR --generated=DIR --workload=FILE [--latency]\n"
       "  estimate  --db=DIR --workload=FILE --hints=... --model=FILE [--verbose]\n"
       "  stats     --metrics=FILE and/or --trace=FILE\n"
