@@ -1,8 +1,10 @@
 #include "common/string_util.h"
 
 #include <cctype>
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 namespace sam {
 
@@ -40,6 +42,39 @@ std::string_view Trim(std::string_view s) {
 
 bool StartsWith(std::string_view s, std::string_view prefix) {
   return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+Result<int64_t> ParseInt64(std::string_view s) {
+  const std::string text(Trim(s));
+  if (text.empty()) {
+    return Status::InvalidArgument("expected an integer, got empty value");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(text.c_str(), &end, 10);
+  if (end != text.c_str() + text.size() || end == text.c_str()) {
+    return Status::InvalidArgument("'" + text + "' is not a valid integer");
+  }
+  if (errno == ERANGE) {
+    return Status::InvalidArgument("'" + text + "' is out of int64 range");
+  }
+  return static_cast<int64_t>(v);
+}
+
+Result<double> ParseFloat64(std::string_view s) {
+  const std::string text(Trim(s));
+  if (text.empty()) {
+    return Status::InvalidArgument("expected a number, got empty value");
+  }
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size() || end == text.c_str()) {
+    return Status::InvalidArgument("'" + text + "' is not a valid number");
+  }
+  if (!std::isfinite(v)) {
+    return Status::InvalidArgument("'" + text + "' is out of double range");
+  }
+  return v;
 }
 
 std::string FormatMetric(double v) {

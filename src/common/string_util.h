@@ -1,8 +1,11 @@
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/result.h"
 
 namespace sam {
 
@@ -17,6 +20,17 @@ std::string_view Trim(std::string_view s);
 
 /// True when `s` starts with `prefix`.
 bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Parses a base-10 signed 64-bit integer from the whole of `s` (surrounding
+/// whitespace allowed). Empty input, trailing junk, and out-of-range values
+/// all fail with InvalidArgument instead of silently truncating the way a
+/// bare strtoll would.
+Result<int64_t> ParseInt64(std::string_view s);
+
+/// Parses a finite double from the whole of `s` (surrounding whitespace
+/// allowed). Empty input, trailing junk, and values that overflow to
+/// infinity fail with InvalidArgument.
+Result<double> ParseFloat64(std::string_view s);
 
 /// Formats a double with sensible scientific/fixed switching for tables,
 /// mirroring how the paper reports errors (e.g. "2e+06" vs "1.27").

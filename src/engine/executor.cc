@@ -196,6 +196,53 @@ Result<std::vector<int64_t>> Executor::ParallelCardinality(
   return out;
 }
 
+Result<std::vector<int64_t>> Executor::ParallelCardinalityCompiled(
+    const std::vector<const engine::CompiledQuery*>& queries,
+    ThreadPool* pool) const {
+  obs::TraceSpan span("exec/parallel_cardinality_compiled");
+  std::vector<int64_t> out(queries.size(), 0);
+  if (queries.empty()) return out;
+  for (const engine::CompiledQuery* cq : queries) {
+    if (cq == nullptr) {
+      return Status::InvalidArgument(
+          "ParallelCardinalityCompiled: null compiled query");
+    }
+  }
+
+  auto eval_range = [&](size_t begin, size_t end) -> Status {
+    engine::EvalScratch scratch;
+    for (size_t i = begin; i < end; ++i) {
+      SAM_ASSIGN_OR_RETURN(out[i], Cardinality(*queries[i], &scratch));
+    }
+    static obs::Counter* served =
+        obs::MetricsRegistry::Global().GetCounter("sam.exec.queries");
+    served->Add(end - begin);
+    return Status::OK();
+  };
+
+  const size_t shards =
+      pool == nullptr ? 1 : std::min(queries.size(), pool->num_threads());
+  if (shards <= 1) {
+    SAM_RETURN_NOT_OK(eval_range(0, queries.size()));
+    return out;
+  }
+
+  std::vector<Status> shard_status(shards, Status::OK());
+  std::vector<std::future<void>> futs;
+  futs.reserve(shards);
+  for (size_t s = 0; s < shards; ++s) {
+    const size_t begin = queries.size() * s / shards;
+    const size_t end = queries.size() * (s + 1) / shards;
+    futs.push_back(pool->Submit(
+        [&, s, begin, end] { shard_status[s] = eval_range(begin, end); }));
+  }
+  for (auto& f : futs) f.get();
+  for (const Status& st : shard_status) {
+    SAM_RETURN_NOT_OK(st);
+  }
+  return out;
+}
+
 Result<double> Executor::MeasureLatencySeconds(const Query& q) const {
   // The same pipeline as Cardinality: per-query plan compilation + probe,
   // which is the work a row-store DBMS performs for these COUNT(*) queries.

@@ -12,6 +12,8 @@
 
 namespace sam {
 
+class ThreadPool;
+
 /// \brief Cardinality and latency evaluation over a database.
 ///
 /// The evaluator serves three roles in the reproduction:
@@ -51,6 +53,17 @@ class Executor {
   /// count. Fails with the first per-query error encountered.
   Result<std::vector<int64_t>> ParallelCardinality(const Workload& workload,
                                                    size_t num_threads = 0) const;
+
+  /// \brief Cardinalities of pre-compiled queries, sharded across a
+  /// caller-owned persistent pool (`pool == nullptr` evaluates sequentially).
+  ///
+  /// This is the serve-daemon hot path: plans come from a cache, so neither
+  /// compilation nor pool construction is paid per call. Bit-identical to
+  /// calling Cardinality(*queries[i], &scratch) per query, for every thread
+  /// count. Null plan pointers are rejected with InvalidArgument.
+  Result<std::vector<int64_t>> ParallelCardinalityCompiled(
+      const std::vector<const engine::CompiledQuery*>& queries,
+      ThreadPool* pool) const;
 
   /// Executes `q` with per-query compilation (no cached plan, as a planner
   /// would) and returns wall-clock seconds; used for the

@@ -1,5 +1,6 @@
 #include "obs/metrics_registry.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 
@@ -96,15 +97,22 @@ double Gauge::Load(const std::atomic<uint64_t>& bits) {
 
 void Gauge::Set(double v) {
   if (!MetricsEnabled()) return;
-  value_.store(DoubleBits(v), std::memory_order_relaxed);
+  // Raise the high-water mark *before* publishing the value: an export
+  // between the two stores must never observe value > max.
   AtomicMaxDouble(&max_, v, /*unset_zero=*/false);
+  value_.store(DoubleBits(v), std::memory_order_relaxed);
 }
 
 void Gauge::Add(double delta) {
   if (!MetricsEnabled()) return;
+  // The post-increment value is only known after the CAS, so the max update
+  // necessarily trails the value update here; Max() clamps to close that
+  // window for concurrent exports.
   AtomicAddDouble(&value_, delta);
   AtomicMaxDouble(&max_, Load(value_), /*unset_zero=*/false);
 }
+
+double Gauge::Max() const { return std::max(Load(max_), Load(value_)); }
 
 void Gauge::Reset() {
   value_.store(0, std::memory_order_relaxed);
@@ -124,26 +132,40 @@ void Histogram::Observe(double v) {
   if (!MetricsEnabled()) return;
   if (std::isnan(v)) return;  // A NaN sample carries no information.
   Shard& s = shards_[Counter::ShardIndex()];
+  // `count` is bumped last so a concurrent Snap that sees count >= 1 on this
+  // shard (almost always) also sees the bucket/sum/min/max for that sample;
+  // Snap additionally guards the truly-unset min/max bit patterns.
   s.buckets[BucketOf(v)].fetch_add(1, std::memory_order_relaxed);
-  s.count.fetch_add(1, std::memory_order_relaxed);
   AtomicAddDouble(&s.sum_bits, v);
   AtomicMinDouble(&s.min_bits, v);
   AtomicMaxDouble(&s.max_bits, v, /*unset_zero=*/true);
+  s.count.fetch_add(1, std::memory_order_relaxed);
 }
 
 Histogram::Snapshot Histogram::Snap() const {
   Snapshot out;
-  bool any = false;
+  bool any_min = false;
+  bool any_max = false;
   for (const Shard& s : shards_) {
     const uint64_t c = s.count.load(std::memory_order_relaxed);
     if (c == 0) continue;
     out.count += c;
     out.sum += BitsDouble(s.sum_bits.load(std::memory_order_relaxed));
-    const double mn = BitsDouble(s.min_bits.load(std::memory_order_relaxed));
-    const double mx = BitsDouble(s.max_bits.load(std::memory_order_relaxed));
-    if (!any || mn < out.min) out.min = mn;
-    if (!any || mx > out.max) out.max = mx;
-    any = true;
+    // An all-zero bit pattern means "no sample recorded yet" — possible in a
+    // concurrent scrape even with c > 0 under relaxed ordering. Skipping it
+    // keeps min/max at real observed samples instead of a torn 0.0.
+    const uint64_t mn_bits = s.min_bits.load(std::memory_order_relaxed);
+    const uint64_t mx_bits = s.max_bits.load(std::memory_order_relaxed);
+    if (mn_bits != 0) {
+      const double mn = BitsDouble(mn_bits);
+      if (!any_min || mn < out.min) out.min = mn;
+      any_min = true;
+    }
+    if (mx_bits != 0) {
+      const double mx = BitsDouble(mx_bits);
+      if (!any_max || mx > out.max) out.max = mx;
+      any_max = true;
+    }
     for (size_t b = 0; b < kBuckets; ++b) {
       out.buckets[b] += s.buckets[b].load(std::memory_order_relaxed);
     }

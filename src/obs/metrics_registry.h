@@ -63,7 +63,10 @@ class Gauge {
   void Add(double delta);
 
   double Value() const { return Load(value_); }
-  double Max() const { return Load(max_); }
+  /// High-water mark. Never less than a concurrently read Value(): writers
+  /// raise `max_` before `value_` where possible, and the remaining Add()
+  /// window is closed by clamping here, so scrapes see consistent pairs.
+  double Max() const;
   void Reset();
 
  private:

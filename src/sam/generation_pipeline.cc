@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "obs/metrics_registry.h"
 #include "obs/trace.h"
 #include "sam/generation_checkpoint.h"
@@ -191,9 +192,30 @@ struct GenerationPipeline::Impl {
   /// Keyed by (child relation, partition); ordered for deterministic flushes.
   std::map<std::pair<std::string, size_t>, VirtBuffer> virt_bufs;
 
+  /// \brief Parallel phase-A prefetch for partition steps.
+  ///
+  /// A partition step splits into a parallelizable phase A (load/scan this
+  /// partition's virtuals and build its merge groups — pure derived data)
+  /// and a serial phase B (key assignment, row emission, chunk flushes —
+  /// which thread pk counters, leaf carry and chunk sequence numbers across
+  /// partitions and therefore must stay in plan order). On a phase-A cache
+  /// miss, a window of upcoming partitions of the active relation is built
+  /// concurrently on `part_pool`, with the window's memory reserved from the
+  /// budget before dispatch; the groups are byte-identical to the serial
+  /// computation, so the published database does not depend on thread count.
+  std::unique_ptr<ThreadPool> part_pool;
+  struct Prefetch {
+    bool valid = false;
+    size_t rel = 0;  ///< Topo index the window belongs to.
+    std::map<size_t, std::vector<Group>> groups;  ///< partition -> groups.
+    int64_t reserved = 0;
+  };
+  Prefetch prefetch;
+
   ~Impl() {
     ClearRowBuffer();
     ClearVirtBuffers();
+    ClearPrefetch();
     DeactivateRelation();
     ReleasePreamble();
   }
@@ -517,6 +539,7 @@ struct GenerationPipeline::Impl {
 
   void DeactivateRelation() {
     if (!active.valid) return;
+    ClearPrefetch();  // Prefetched groups are derived from this relation.
     if (active.reserved > 0) budget.Release(active.reserved);
     active = ActiveRel{};
   }
@@ -839,15 +862,12 @@ struct GenerationPipeline::Impl {
 
   // -- Partition steps (Group-and-Merge) ------------------------------------
 
-  Status ExecPartition(size_t rel_i, size_t part) {
-    obs::TraceSpan span("generate/pipeline/partition");
-    SAM_RETURN_NOT_OK(ActivateRelation(rel_i));
-    Rng rng(DeriveSeed(state.base_seed, "decode|" + active.name + "|part|" +
-                                            std::to_string(part)));
-
-    // Gather this partition's virtual samples.
+  /// Phase A, gather: this partition's virtual samples, without budget
+  /// accounting (the caller reserves — the serial path incrementally, the
+  /// prefetch path for the whole window before dispatch). Thread-safe: reads
+  /// only `active`, `state` and spill files.
+  Result<std::vector<SpillVirtual>> GatherVirtuals(size_t part) const {
     std::vector<SpillVirtual> virtuals;
-    ScopedReservation virt_res(&budget);
     if (active.name == schema().root()) {
       // Root virtuals are implicit: every positively-weighted sample at
       // fraction 1 with no parent key; partitioned by its own group key.
@@ -860,50 +880,231 @@ struct GenerationPipeline::Impl {
         }
         virtuals.push_back(SpillVirtual{static_cast<uint32_t>(s), 1.0, -1});
       }
-      SAM_RETURN_NOT_OK(
-          virt_res.Acquire(VirtualChunk::BytesFor(virtuals.size()),
-                           "root virtual samples"));
     } else {
-      const auto& rs = RelState(active.name);
+      const auto& rs = state.relations[rel_index.at(active.name)];
       for (uint64_t seq = 0; seq < rs.virt_chunk_seq[part]; ++seq) {
         const std::string name = VirtChunkName(active.name, part, seq);
         SAM_ASSIGN_OR_RETURN(VirtualChunk chunk,
                              VirtualChunk::Load(Path(name)));
-        SAM_RETURN_NOT_OK(
-            virt_res.Acquire(VirtualChunk::BytesFor(chunk.records.size()),
-                             "virtual samples for relation '" + active.name +
-                                 "'"));
         virtuals.insert(virtuals.end(), chunk.records.begin(),
                         chunk.records.end());
       }
     }
+    return virtuals;
+  }
 
-    // Group in first-appearance order. ~96 bytes of group state per virtual
-    // (key strings + member slots), reserved up front so a pathological
-    // partition fails cleanly instead of OOMing.
+  /// Phase A, group: merge groups in first-appearance order — a pure
+  /// function of the virtuals and the active relation's weights, so the
+  /// serial and prefetched paths produce identical groups. Thread-safe.
+  std::vector<Group> BuildGroups(
+      const std::vector<SpillVirtual>& virtuals) const {
     std::vector<Group> groups;
-    ScopedReservation group_res(&budget);
-    SAM_RETURN_NOT_OK(group_res.Acquire(
-        static_cast<int64_t>(virtuals.size()) * 96,
-        "merge-group table for relation '" + active.name + "' partition " +
-            std::to_string(part)));
-    {
-      std::unordered_map<std::string, size_t> group_index;
-      for (const auto& v : virtuals) {
-        const double wv = active.w[v.sample] * v.fraction;
-        if (wv <= 0.0) continue;
-        const std::string key =
-            GroupKey(v.fk_value, v.sample, active.group_cols);
-        auto [it, inserted] = group_index.try_emplace(key, groups.size());
-        if (inserted) {
-          groups.emplace_back();
-          groups.back().fk = v.fk_value;
-          groups.back().key_hash = HashKey(key);
-        }
-        Group& g = groups[it->second];
-        g.members.emplace_back(v.sample, v.fraction);
-        g.mass += wv;
+    std::unordered_map<std::string, size_t> group_index;
+    for (const auto& v : virtuals) {
+      const double wv = active.w[v.sample] * v.fraction;
+      if (wv <= 0.0) continue;
+      const std::string key = GroupKey(v.fk_value, v.sample, active.group_cols);
+      auto [it, inserted] = group_index.try_emplace(key, groups.size());
+      if (inserted) {
+        groups.emplace_back();
+        groups.back().fk = v.fk_value;
+        groups.back().key_hash = HashKey(key);
       }
+      Group& g = groups[it->second];
+      g.members.emplace_back(v.sample, v.fraction);
+      g.mass += wv;
+    }
+    return groups;
+  }
+
+  void ClearPrefetch() {
+    if (prefetch.reserved > 0) budget.Release(prefetch.reserved);
+    prefetch = Prefetch{};
+  }
+
+  /// Estimated phase-A bytes for one non-root partition, from the spill
+  /// manifest (stat-level, no reads): on-disk bytes are >= 16 per record
+  /// while resident phase-A state is <= ~120 per record (transient chunk +
+  /// virtuals vector + group table), so x8 is a safe over-estimate. Returns
+  /// -1 when a chunk is missing from the manifest (prefetch then skips it).
+  int64_t EstimatePartitionBytes(size_t part) const {
+    const auto& rs = state.relations[rel_index.at(active.name)];
+    int64_t disk_bytes = 0;
+    for (uint64_t seq = 0; seq < rs.virt_chunk_seq[part]; ++seq) {
+      const std::string name = VirtChunkName(active.name, part, seq);
+      bool found = false;
+      for (const auto& f : state.manifest) {
+        if (f.name == name) {
+          disk_bytes += static_cast<int64_t>(f.bytes);
+          found = true;
+          break;
+        }
+      }
+      if (!found) return -1;
+    }
+    return disk_bytes * 8;
+  }
+
+  /// Builds phase-A results for a window of partitions of the active
+  /// relation starting at `first`, on `part_pool`. The whole window's
+  /// estimated memory is reserved before dispatch; when the cap is too
+  /// tight (or estimates are unavailable) the window shrinks and ultimately
+  /// the step falls back to the fully serial path, whose incremental
+  /// accounting and error messages are unchanged.
+  Status BuildPrefetch(size_t rel_i, size_t first) {
+    ClearPrefetch();
+    if (partitions <= 1 || opts.partition_threads == 1) return Status::OK();
+    if (part_pool == nullptr) {
+      part_pool = std::make_unique<ThreadPool>(opts.partition_threads);
+    }
+    size_t window =
+        std::min(partitions - first, part_pool->num_threads() * 2);
+    if (window <= 1) return Status::OK();
+
+    // Phase B makes its own incremental reservations (row buffers, virtual
+    // buffers) that must keep succeeding while the window is held, so only
+    // prefetch when the window leaves at least a quarter of the cap free —
+    // a run that fits serially must never fail because of prefetch.
+    auto fits_with_headroom = [&](int64_t bytes) {
+      return budget.cap() <= 0 ||
+             budget.reserved() + bytes <= budget.cap() - budget.cap() / 4;
+    };
+
+    int64_t estimate = 0;
+    if (active.name == schema().root()) {
+      // All partitions together hold every positively-weighted sample once,
+      // so one count bounds any window of them.
+      int64_t positive = 0;
+      for (uint64_t s = 0; s < k; ++s) {
+        if (active.w[s] > 0.0) positive++;
+      }
+      estimate =
+          positive * (static_cast<int64_t>(sizeof(SpillVirtual)) + 96 + 24);
+      if (!fits_with_headroom(estimate) ||
+          !budget.Reserve(estimate, "partition prefetch window").ok()) {
+        return Status::OK();  // Tight cap: stay serial.
+      }
+    } else {
+      std::vector<int64_t> per_part(window, 0);
+      for (size_t i = 0; i < window; ++i) {
+        const int64_t est = EstimatePartitionBytes(first + i);
+        if (est < 0) {
+          window = i;
+          break;
+        }
+        per_part[i] = est;
+      }
+      while (window > 1) {
+        estimate = 0;
+        for (size_t i = 0; i < window; ++i) estimate += per_part[i];
+        if (fits_with_headroom(estimate) &&
+            budget.Reserve(estimate, "partition prefetch window").ok()) {
+          break;
+        }
+        window /= 2;  // Tight cap: shrink the window.
+      }
+      if (window <= 1) return Status::OK();
+    }
+
+    obs::TraceSpan span("generate/pipeline/prefetch");
+    std::vector<Status> worker_status(window, Status::OK());
+    std::vector<std::vector<Group>> worker_groups(window);
+    std::vector<std::future<void>> futs;
+    futs.reserve(window);
+    for (size_t i = 0; i < window; ++i) {
+      const size_t part = first + i;
+      futs.push_back(part_pool->Submit([this, i, part, &worker_status,
+                                        &worker_groups] {
+        auto virtuals = GatherVirtuals(part);
+        if (!virtuals.ok()) {
+          worker_status[i] = virtuals.status();
+          return;
+        }
+        worker_groups[i] = BuildGroups(virtuals.ValueOrDie());
+      }));
+    }
+    for (auto& f : futs) f.get();
+    for (const Status& st : worker_status) {
+      if (!st.ok()) {
+        budget.Release(estimate);
+        return st;  // I/O error: the serial path would hit it too.
+      }
+    }
+    prefetch.valid = true;
+    prefetch.rel = rel_i;
+    prefetch.reserved = estimate;
+    for (size_t i = 0; i < window; ++i) {
+      prefetch.groups.emplace(first + i, std::move(worker_groups[i]));
+    }
+    if (obs::MetricsEnabled()) {
+      obs::MetricsRegistry::Global()
+          .GetCounter("sam.generate.partitions_prefetched")
+          ->Add(window);
+    }
+    return Status::OK();
+  }
+
+  /// Moves a prefetched partition's groups out of the window. The window
+  /// reservation is only released once every entry is consumed AND phase B
+  /// of the last one has finished (the caller clears at the next step), so
+  /// live group memory always stays accounted.
+  bool TakePrefetched(size_t rel_i, size_t part, std::vector<Group>* groups) {
+    if (!prefetch.valid || prefetch.rel != rel_i) return false;
+    auto it = prefetch.groups.find(part);
+    if (it == prefetch.groups.end()) return false;
+    *groups = std::move(it->second);
+    prefetch.groups.erase(it);
+    return true;
+  }
+
+  Status ExecPartition(size_t rel_i, size_t part) {
+    obs::TraceSpan span("generate/pipeline/partition");
+    SAM_RETURN_NOT_OK(ActivateRelation(rel_i));
+    // The previous window's reservation is held until here so that the last
+    // consumed partition's groups stayed accounted through its phase B.
+    if (prefetch.valid && prefetch.groups.empty()) ClearPrefetch();
+    Rng rng(DeriveSeed(state.base_seed, "decode|" + active.name + "|part|" +
+                                            std::to_string(part)));
+
+    std::vector<Group> groups;
+    ScopedReservation virt_res(&budget);
+    ScopedReservation group_res(&budget);
+    bool from_prefetch = TakePrefetched(rel_i, part, &groups);
+    if (!from_prefetch) {
+      SAM_RETURN_NOT_OK(BuildPrefetch(rel_i, part));
+      from_prefetch = TakePrefetched(rel_i, part, &groups);
+    }
+    if (!from_prefetch) {
+      // Serial fallback: gather + group under incremental accounting, with
+      // the same failure behaviour as before prefetch existed.
+      std::vector<SpillVirtual> virtuals;
+      if (active.name == schema().root()) {
+        SAM_ASSIGN_OR_RETURN(virtuals, GatherVirtuals(part));
+        SAM_RETURN_NOT_OK(
+            virt_res.Acquire(VirtualChunk::BytesFor(virtuals.size()),
+                             "root virtual samples"));
+      } else {
+        const auto& rs = RelState(active.name);
+        for (uint64_t seq = 0; seq < rs.virt_chunk_seq[part]; ++seq) {
+          const std::string name = VirtChunkName(active.name, part, seq);
+          SAM_ASSIGN_OR_RETURN(VirtualChunk chunk,
+                               VirtualChunk::Load(Path(name)));
+          SAM_RETURN_NOT_OK(
+              virt_res.Acquire(VirtualChunk::BytesFor(chunk.records.size()),
+                               "virtual samples for relation '" + active.name +
+                                   "'"));
+          virtuals.insert(virtuals.end(), chunk.records.begin(),
+                          chunk.records.end());
+        }
+      }
+      // ~96 bytes of group state per virtual (key strings + member slots),
+      // reserved up front so a pathological partition fails cleanly instead
+      // of OOMing.
+      SAM_RETURN_NOT_OK(group_res.Acquire(
+          static_cast<int64_t>(virtuals.size()) * 96,
+          "merge-group table for relation '" + active.name + "' partition " +
+              std::to_string(part)));
+      groups = BuildGroups(virtuals);
     }
 
     if (active.keyed) {

@@ -31,6 +31,13 @@ struct GenerationPipelineOptions {
   uint64_t stop_after_steps = 0;
   /// Checkpoints retained in `work_dir` (0 keeps all).
   size_t checkpoint_keep = 3;
+  /// Worker threads for Group-and-Merge partition prefetch (0 = hardware
+  /// concurrency, 1 = fully serial). Partitions of a relation are gathered
+  /// and grouped in parallel ahead of the serial commit phase; the published
+  /// database is byte-identical for every thread count, and prefetch memory
+  /// is reserved from the memory cap before dispatch (falling back to serial
+  /// execution when the cap is tight).
+  size_t partition_threads = 0;
   /// Keep spill files and checkpoints after a successful publish (debugging).
   bool keep_work_dir = false;
 };

@@ -1,0 +1,102 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace sam::serve {
+
+ServeClient::~ServeClient() { Close(); }
+
+ServeClient::ServeClient(ServeClient&& other) noexcept
+    : fd_(other.fd_), buffer_(std::move(other.buffer_)) {
+  other.fd_ = -1;
+}
+
+ServeClient& ServeClient::operator=(ServeClient&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    buffer_ = std::move(other.buffer_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Result<ServeClient> ServeClient::Connect(const std::string& host, int port) {
+  ServeClient client;
+  client.fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (client.fd_ < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad address '" + host + "'");
+  }
+  if (::connect(client.fd_, reinterpret_cast<sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    return Status::IOError("connect " + host + ":" + std::to_string(port) +
+                           ": " + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(client.fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return client;
+}
+
+Status ServeClient::Send(const std::string& line) {
+  if (fd_ < 0) return Status::IOError("client is not connected");
+  std::string framed = line;
+  framed += '\n';
+  size_t sent = 0;
+  while (sent < framed.size()) {
+    const ssize_t n =
+        ::send(fd_, framed.data() + sent, framed.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      return Status::IOError(std::string("send: ") + std::strerror(errno));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<std::string> ServeClient::ReceiveLine() {
+  if (fd_ < 0) return Status::IOError("client is not connected");
+  while (true) {
+    const size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = buffer_.substr(0, nl);
+      buffer_.erase(0, nl + 1);
+      return line;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n == 0) return Status::IOError("server closed the connection");
+    if (n < 0) {
+      return Status::IOError(std::string("recv: ") + std::strerror(errno));
+    }
+    buffer_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+Result<obs::JsonValue> ServeClient::Call(const std::string& line) {
+  SAM_RETURN_NOT_OK(Send(line));
+  SAM_ASSIGN_OR_RETURN(std::string response, ReceiveLine());
+  return obs::ParseJson(response);
+}
+
+void ServeClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace sam::serve

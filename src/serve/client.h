@@ -1,0 +1,45 @@
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+#include "obs/json.h"
+
+namespace sam::serve {
+
+/// \brief Minimal blocking client for the serve daemon's line protocol.
+///
+/// One TCP connection, synchronous calls. Used by the tests and the load
+/// generator; it supports pipelining (send N lines, then read N responses)
+/// because the server replies on the same connection in completion order,
+/// tagging every response with the request id.
+class ServeClient {
+ public:
+  ServeClient() = default;
+  ~ServeClient();
+
+  ServeClient(ServeClient&& other) noexcept;
+  ServeClient& operator=(ServeClient&& other) noexcept;
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+
+  static Result<ServeClient> Connect(const std::string& host, int port);
+
+  /// Sends one request line (the newline is appended here).
+  Status Send(const std::string& line);
+
+  /// Blocks until one full response line arrives.
+  Result<std::string> ReceiveLine();
+
+  /// Send + receive + parse; the one-shot convenience path.
+  Result<obs::JsonValue> Call(const std::string& line);
+
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+}  // namespace sam::serve

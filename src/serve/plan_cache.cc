@@ -1,0 +1,66 @@
+#include "serve/plan_cache.h"
+
+#include <algorithm>
+
+#include "workload/io.h"
+
+namespace sam::serve {
+
+std::string CanonicalQueryKey(const Query& q) {
+  Query canon = q;
+  canon.cardinality = -1;
+  std::sort(canon.relations.begin(), canon.relations.end());
+  for (Predicate& p : canon.predicates) {
+    std::sort(p.in_list.begin(), p.in_list.end());
+  }
+  // Sort predicates by their encoded text: EncodeWorkloadQuery escapes the
+  // separator characters, so the encoding is injective and the order is total.
+  auto encode = [](const Predicate& p) {
+    Query one;
+    one.relations = {p.table};
+    one.predicates = {p};
+    return EncodeWorkloadQuery(one);
+  };
+  std::sort(canon.predicates.begin(), canon.predicates.end(),
+            [&](const Predicate& a, const Predicate& b) {
+              return encode(a) < encode(b);
+            });
+  return EncodeWorkloadQuery(canon);
+}
+
+std::shared_ptr<const engine::CompiledQuery> PlanCache::Get(
+    const std::string& key) {
+  if (capacity_ == 0) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second->second;
+}
+
+void PlanCache::Put(const std::string& key,
+                    std::shared_ptr<const engine::CompiledQuery> plan) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (index_.count(key) > 0) return;
+  lru_.emplace_front(key, std::move(plan));
+  index_[key] = lru_.begin();
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+  }
+}
+
+size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+}  // namespace sam::serve

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "engine/compiled_query.h"
+#include "query/query.h"
+
+namespace sam::serve {
+
+/// \brief Cache key of a query, invariant under clause order.
+///
+/// Relations, predicates and IN-lists are sorted before encoding, so two
+/// requests that differ only in the order of their conjuncts share one
+/// compiled plan. The cardinality label is excluded — it never affects the
+/// plan.
+std::string CanonicalQueryKey(const Query& q);
+
+/// \brief Mutex-guarded LRU cache of compiled query plans.
+///
+/// Plans are handed out as shared_ptr-to-const: evaluation against a
+/// `CompiledQuery` is thread-safe (state lives in per-thread `EvalScratch`),
+/// and the shared_ptr keeps an evicted plan alive until its last in-flight
+/// evaluation finishes. Hit/miss counts are relaxed atomics so the stats
+/// endpoint can read them without taking the cache lock.
+class PlanCache {
+ public:
+  /// `capacity` = max resident plans (0 disables caching entirely).
+  explicit PlanCache(size_t capacity) : capacity_(capacity) {}
+
+  /// Returns the cached plan for `key`, or nullptr on miss. A hit moves the
+  /// entry to the front of the LRU list.
+  std::shared_ptr<const engine::CompiledQuery> Get(const std::string& key);
+
+  /// Inserts `plan` under `key`, evicting the least-recently-used entry when
+  /// over capacity. Racing inserts of the same key keep the incumbent (both
+  /// plans are equivalent; the incumbent may already be referenced).
+  void Put(const std::string& key,
+           std::shared_ptr<const engine::CompiledQuery> plan);
+
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  size_t size() const;
+
+ private:
+  using LruList =
+      std::list<std::pair<std::string,
+                          std::shared_ptr<const engine::CompiledQuery>>>;
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  LruList lru_;  ///< Front = most recently used.
+  std::unordered_map<std::string, LruList::iterator> index_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+};
+
+}  // namespace sam::serve

@@ -1,0 +1,618 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "ar/estimator.h"
+#include "common/thread_pool.h"
+#include "obs/metrics_registry.h"
+#include "sam/generation_pipeline.h"
+
+namespace sam::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MsSince(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+/// mtime with nanosecond resolution, or -1 when the file is unreadable.
+int64_t FileMtimeNs(const std::string& path) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) return -1;
+  return static_cast<int64_t>(st.st_mtim.tv_sec) * 1000000000 +
+         static_cast<int64_t>(st.st_mtim.tv_nsec);
+}
+
+}  // namespace
+
+/// One accepted TCP connection. The reader thread owns reads; responses can
+/// come from the reader (fast-path/errors) or the dispatcher, so writes are
+/// serialised by `write_mu` to keep response lines intact.
+struct SamServer::Conn {
+  int fd = -1;
+  std::mutex write_mu;
+  std::atomic<bool> open{true};
+
+  ~Conn() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+/// A parsed request waiting in the dispatcher queue.
+struct SamServer::Pending {
+  std::shared_ptr<Conn> conn;
+  Request request;
+  Clock::time_point arrival;
+};
+
+/// One asynchronous generation job (at most one runs at a time — the
+/// pipeline's work directory and memory budget are per-run resources).
+struct SamServer::GenJob {
+  int64_t id = -1;
+  std::atomic<bool> stop{false};
+  std::thread thread;
+
+  std::mutex mu;
+  JobStatus status;  // Guarded by mu.
+};
+
+SamServer::SamServer(const Database* db, const Executor* exec,
+                     std::shared_ptr<const SamModel> model,
+                     ServeOptions options)
+    : db_(db),
+      exec_(exec),
+      options_(std::move(options)),
+      model_(std::move(model)),
+      plan_cache_(options_.plan_cache_capacity) {}
+
+SamServer::~SamServer() { Stop(); }
+
+std::shared_ptr<const SamModel> SamServer::ModelSnapshot() const {
+  std::lock_guard<std::mutex> lock(model_mu_);
+  return model_;
+}
+
+void SamServer::SwapModel(std::shared_ptr<const SamModel> model) {
+  {
+    std::lock_guard<std::mutex> lock(model_mu_);
+    model_ = std::move(model);
+  }
+  model_swaps_.fetch_add(1, std::memory_order_relaxed);
+}
+
+Status SamServer::Start() {
+  if (started_.exchange(true)) {
+    return Status::AlreadyExists("server already started");
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad listen address '" + options_.host +
+                                   "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return Status::IOError("bind " + options_.host + ":" +
+                           std::to_string(options_.port) + ": " +
+                           std::strerror(errno));
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    return Status::IOError(std::string("listen: ") + std::strerror(errno));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) !=
+      0) {
+    return Status::IOError(std::string("getsockname: ") +
+                           std::strerror(errno));
+  }
+  port_ = ntohs(bound.sin_port);
+
+  pool_ = std::make_unique<ThreadPool>(options_.worker_threads);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  dispatch_thread_ = std::thread([this] { DispatchLoop(); });
+  if (!options_.model_path.empty() && options_.watch_interval_ms > 0 &&
+      options_.reload_model) {
+    watch_thread_ = std::thread([this] { WatchLoop(); });
+  }
+  return Status::OK();
+}
+
+void SamServer::Stop() {
+  if (!started_.load()) return;
+  if (stopping_.exchange(true)) return;  // A previous Stop ran the drain.
+
+  // 1. Stop accepting and reading: after this, the request set is frozen.
+  if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (std::thread& t : reader_threads_) {
+      if (t.joinable()) t.join();
+    }
+  }
+
+  // 2. Drain: the dispatcher exits only once the queue is empty.
+  queue_cv_.notify_all();
+  if (dispatch_thread_.joinable()) dispatch_thread_.join();
+
+  // 3. Stop background work.
+  if (watch_thread_.joinable()) watch_thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    for (auto& [id, job] : jobs_) {
+      (void)id;
+      job->stop.store(true);
+    }
+    for (auto& [id, job] : jobs_) {
+      (void)id;
+      if (job->thread.joinable()) job->thread.join();
+    }
+  }
+
+  // 4. Close connections (flushed responses only — writes all happened on
+  // the threads joined above).
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns_.clear();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void SamServer::AcceptLoop() {
+  while (!stopping_.load()) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int r = ::poll(&pfd, 1, 100);
+    if (r <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_shared<Conn>();
+    conn->fd = fd;
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns_.push_back(conn);
+    reader_threads_.emplace_back([this, conn] { ReaderLoop(conn); });
+  }
+}
+
+void SamServer::ReaderLoop(std::shared_ptr<Conn> conn) {
+  std::string buffer;
+  char chunk[4096];
+  while (!stopping_.load() && conn->open.load()) {
+    pollfd pfd{conn->fd, POLLIN, 0};
+    const int r = ::poll(&pfd, 1, 100);
+    if (r <= 0) continue;
+    const ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      conn->open.store(false);
+      break;
+    }
+    buffer.append(chunk, static_cast<size_t>(n));
+    size_t start = 0;
+    for (size_t nl = buffer.find('\n', start); nl != std::string::npos;
+         nl = buffer.find('\n', start)) {
+      std::string line = buffer.substr(start, nl - start);
+      start = nl + 1;
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (!line.empty()) HandleLine(conn, line);
+    }
+    buffer.erase(0, start);
+  }
+}
+
+void SamServer::WriteLine(Conn* conn, const std::string& line) {
+  if (!conn->open.load()) return;
+  std::string framed = line;
+  framed += '\n';
+  std::lock_guard<std::mutex> lock(conn->write_mu);
+  size_t sent = 0;
+  while (sent < framed.size()) {
+    const ssize_t n = ::send(conn->fd, framed.data() + sent,
+                             framed.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      conn->open.store(false);
+      return;
+    }
+    sent += static_cast<size_t>(n);
+  }
+}
+
+void SamServer::Respond(Pending* p, const std::string& line, bool is_error) {
+  WriteLine(p->conn.get(), line);
+  responses_total_.fetch_add(1, std::memory_order_relaxed);
+  obs::MetricsRegistry::Global().GetCounter("sam.serve.responses")->Add(1);
+  if (is_error) {
+    errors_total_.fetch_add(1, std::memory_order_relaxed);
+    obs::MetricsRegistry::Global().GetCounter("sam.serve.errors")->Add(1);
+  }
+  obs::MetricsRegistry::Global()
+      .GetHistogram("sam.serve.latency_ms")
+      ->Observe(MsSince(p->arrival));
+}
+
+void SamServer::HandleLine(const std::shared_ptr<Conn>& conn,
+                           const std::string& line) {
+  const Clock::time_point arrival = Clock::now();
+  requests_total_.fetch_add(1, std::memory_order_relaxed);
+  obs::MetricsRegistry::Global().GetCounter("sam.serve.requests")->Add(1);
+
+  int64_t id = -1;
+  auto parsed = ParseRequest(line, &id);
+  Pending p{conn, Request{}, arrival};
+  if (!parsed.ok()) {
+    Respond(&p, ErrorResponse(id, parsed.status()), /*is_error=*/true);
+    return;
+  }
+  p.request = parsed.MoveValue();
+
+  // Fast paths answered on the reader thread: they touch no heavy shared
+  // state and must stay responsive while the dispatcher is busy.
+  switch (p.request.type) {
+    case RequestType::kPing:
+      Respond(&p, PongResponse(p.request.id), /*is_error=*/false);
+      return;
+    case RequestType::kStats:
+      Respond(&p, StatsResponse(p.request.id, StatsJson()),
+              /*is_error=*/false);
+      return;
+    case RequestType::kGenerate:
+      Respond(&p, HandleGenerate(p.request), /*is_error=*/false);
+      return;
+    case RequestType::kGenerateStatus:
+      Respond(&p, HandleGenerateStatus(p.request), /*is_error=*/false);
+      return;
+    case RequestType::kEstimate:
+    case RequestType::kEstimateBatch:
+      break;
+  }
+
+  // Estimates go through the bounded queue to the coalescing dispatcher.
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (queue_.size() >= options_.queue_capacity) {
+      Respond(&p,
+              ErrorResponse(p.request.id,
+                            Status::OutOfRange(
+                                "server overloaded: request queue is full")),
+              /*is_error=*/true);
+      return;
+    }
+    queue_.push_back(std::move(p));
+    obs::MetricsRegistry::Global()
+        .GetGauge("sam.serve.queue_depth")
+        ->Set(static_cast<double>(queue_.size()));
+  }
+  queue_cv_.notify_one();
+}
+
+void SamServer::DispatchLoop() {
+  while (true) {
+    std::vector<Pending> batch;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait_for(lock, std::chrono::milliseconds(50), [this] {
+        return !queue_.empty() || stopping_.load();
+      });
+      if (queue_.empty()) {
+        if (stopping_.load()) return;
+        continue;
+      }
+      const size_t take = std::min(queue_.size(),
+                                   std::max<size_t>(1, options_.batch_max));
+      for (size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      obs::MetricsRegistry::Global()
+          .GetGauge("sam.serve.queue_depth")
+          ->Set(static_cast<double>(queue_.size()));
+    }
+    batches_total_.fetch_add(1, std::memory_order_relaxed);
+    obs::MetricsRegistry::Global()
+        .GetHistogram("sam.serve.batch_size")
+        ->Observe(static_cast<double>(batch.size()));
+    DispatchBatch(&batch);
+  }
+}
+
+void SamServer::DispatchBatch(std::vector<Pending>* batch) {
+  // Shed requests that exceeded their queueing deadline before doing work
+  // for them.
+  std::vector<Pending*> live;
+  for (Pending& p : *batch) {
+    const double waited = MsSince(p.arrival);
+    if (options_.request_timeout_ms > 0 &&
+        waited > static_cast<double>(options_.request_timeout_ms)) {
+      Respond(&p,
+              ErrorResponse(
+                  p.request.id,
+                  Status::OutOfRange(
+                      "deadline exceeded: request waited " +
+                      std::to_string(static_cast<int64_t>(waited)) +
+                      " ms in queue (timeout " +
+                      std::to_string(options_.request_timeout_ms) + " ms)")),
+              /*is_error=*/true);
+      continue;
+    }
+    live.push_back(&p);
+  }
+
+  if (options_.per_request_executor) {
+    // Benchmark baseline: the pre-daemon batch API, one call per request.
+    for (Pending* p : live) {
+      if (p->request.use_model) continue;
+      Workload wl(p->request.queries.begin(), p->request.queries.end());
+      auto result = exec_->ParallelCardinality(wl, options_.worker_threads);
+      if (!result.ok()) {
+        Respond(p, ErrorResponse(p->request.id, result.status()),
+                /*is_error=*/true);
+      } else {
+        Respond(p, CardsResponse(p->request.id, result.ValueOrDie()),
+                /*is_error=*/false);
+      }
+      p->conn = nullptr;
+    }
+  }
+
+  // True-cardinality work across every live request is coalesced into one
+  // executor call; plans come from the LRU cache.
+  struct Slot {
+    Pending* p;
+    size_t query_index;
+  };
+  std::vector<Slot> slots;
+  std::vector<std::shared_ptr<const engine::CompiledQuery>> plans;
+
+  for (Pending* p : live) {
+    if (p->request.use_model) continue;
+    bool failed = false;
+    const size_t first_slot = slots.size();
+    for (size_t qi = 0; qi < p->request.queries.size() && !failed; ++qi) {
+      const Query& q = p->request.queries[qi];
+      const std::string key = CanonicalQueryKey(q);
+      std::shared_ptr<const engine::CompiledQuery> plan = plan_cache_.Get(key);
+      if (plan == nullptr) {
+        auto compiled =
+            engine::CompiledQuery::Compile(*db_, exec_->join_graph(), q);
+        if (!compiled.ok()) {
+          Respond(p, ErrorResponse(p->request.id, compiled.status()),
+                  /*is_error=*/true);
+          p->conn = nullptr;  // Mark answered.
+          failed = true;
+          break;
+        }
+        plan = std::make_shared<const engine::CompiledQuery>(
+            compiled.MoveValue());
+        plan_cache_.Put(key, plan);
+      }
+      slots.push_back({p, qi});
+      plans.push_back(std::move(plan));
+    }
+    if (failed) {
+      slots.resize(first_slot);
+      plans.resize(first_slot);
+    }
+  }
+
+  std::vector<int64_t> cards;
+  if (!plans.empty()) {
+    std::vector<const engine::CompiledQuery*> raw(plans.size());
+    for (size_t i = 0; i < plans.size(); ++i) raw[i] = plans[i].get();
+    auto result = exec_->ParallelCardinalityCompiled(raw, pool_.get());
+    if (!result.ok()) {
+      for (Pending* p : live) {
+        if (p->conn == nullptr || p->request.use_model) continue;
+        Respond(p, ErrorResponse(p->request.id, result.status()),
+                /*is_error=*/true);
+        p->conn = nullptr;
+      }
+    } else {
+      cards = result.MoveValue();
+    }
+  }
+
+  // Scatter coalesced cardinalities back to their requests.
+  if (!cards.empty()) {
+    size_t cursor = 0;
+    for (Pending* p : live) {
+      if (p->conn == nullptr || p->request.use_model) continue;
+      std::vector<int64_t> answer(p->request.queries.size());
+      for (size_t qi = 0; qi < answer.size(); ++qi) {
+        answer[qi] = cards[cursor + qi];
+      }
+      cursor += answer.size();
+      Respond(p, CardsResponse(p->request.id, answer), /*is_error=*/false);
+      p->conn = nullptr;
+    }
+  }
+
+  // Model estimates: each request gets a fresh estimator seeded identically,
+  // so an answer depends only on the request itself (and the model snapshot
+  // it grabbed) — never on what other clients are doing.
+  for (Pending* p : live) {
+    if (p->conn == nullptr || !p->request.use_model) continue;
+    const std::shared_ptr<const SamModel> model = ModelSnapshot();
+    const size_t paths = p->request.paths > 0
+                             ? static_cast<size_t>(p->request.paths)
+                             : options_.estimate_paths_default;
+    ProgressiveEstimator estimator(model->model(), paths);
+    std::vector<double> estimates;
+    estimates.reserve(p->request.queries.size());
+    Status st = Status::OK();
+    for (const Query& q : p->request.queries) {
+      auto est = estimator.EstimateCardinality(q);
+      if (!est.ok()) {
+        st = est.status();
+        break;
+      }
+      estimates.push_back(est.ValueOrDie());
+    }
+    if (!st.ok()) {
+      Respond(p, ErrorResponse(p->request.id, st), /*is_error=*/true);
+    } else {
+      Respond(p, EstimatesResponse(p->request.id, estimates),
+              /*is_error=*/false);
+    }
+    p->conn = nullptr;
+  }
+}
+
+std::string SamServer::HandleGenerate(const Request& req) {
+  std::lock_guard<std::mutex> lock(jobs_mu_);
+  for (const auto& [id, job] : jobs_) {
+    (void)id;
+    std::lock_guard<std::mutex> jlock(job->mu);
+    if (job->status.state == "queued" || job->status.state == "running") {
+      return ErrorResponse(
+          req.id, Status::AlreadyExists("generation job " +
+                                        std::to_string(job->status.job) +
+                                        " is already running"));
+    }
+  }
+  auto job = std::make_shared<GenJob>();
+  job->id = next_job_id_++;
+  job->status.job = job->id;
+  job->status.state = "queued";
+  job->status.out_dir = req.gen_out;
+  jobs_[job->id] = job;
+
+  const std::shared_ptr<const SamModel> model = ModelSnapshot();
+  GenerationPipelineOptions opts;
+  opts.out_dir = req.gen_out;
+  opts.work_dir = req.gen_work;
+  opts.resume = req.gen_resume;
+  opts.stop_flag = &job->stop;
+  job->thread = std::thread([job, model, opts] {
+    {
+      std::lock_guard<std::mutex> jlock(job->mu);
+      job->status.state = "running";
+    }
+    GenerationPipeline pipeline(model.get(), opts);
+    auto run = pipeline.Run();
+    std::lock_guard<std::mutex> jlock(job->mu);
+    if (!run.ok()) {
+      job->status.state = "failed";
+      job->status.error = run.status().ToString();
+      return;
+    }
+    const GenerationRunSummary& s = run.ValueOrDie();
+    job->status.rows_written = s.rows_written;
+    job->status.steps_executed = s.steps_executed;
+    job->status.steps_total = s.steps_total;
+    job->status.state = s.completed ? "done" : "stopped";
+  });
+  obs::MetricsRegistry::Global().GetCounter("sam.serve.generate_jobs")->Add(1);
+  return GenerateStartedResponse(req.id, job->id);
+}
+
+std::string SamServer::HandleGenerateStatus(const Request& req) {
+  std::shared_ptr<GenJob> job;
+  {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    auto it = jobs_.find(req.job);
+    if (it != jobs_.end()) job = it->second;
+  }
+  if (job == nullptr) {
+    return ErrorResponse(req.id, Status::NotFound("no generation job " +
+                                                  std::to_string(req.job)));
+  }
+  std::lock_guard<std::mutex> jlock(job->mu);
+  return GenerateStatusResponse(req.id, job->status);
+}
+
+void SamServer::WatchLoop() {
+  int64_t last_mtime = FileMtimeNs(options_.model_path);
+  while (!stopping_.load()) {
+    // Sleep in 20ms slices so Stop() is never blocked on a long interval.
+    for (int64_t slept = 0;
+         slept < options_.watch_interval_ms && !stopping_.load();
+         slept += 20) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    if (stopping_.load()) return;
+    const int64_t mtime = FileMtimeNs(options_.model_path);
+    if (mtime < 0 || mtime == last_mtime) continue;
+    // Stage-then-apply: load the replacement completely off to the side;
+    // the swap happens only when the reload succeeded, so a torn or corrupt
+    // artifact never reaches a request.
+    auto reloaded = options_.reload_model();
+    if (!reloaded.ok()) {
+      obs::MetricsRegistry::Global()
+          .GetCounter("sam.serve.model_reload_errors")
+          ->Add(1);
+      // Keep last_mtime unchanged so the next tick retries (the writer may
+      // still have been mid-rename).
+      continue;
+    }
+    last_mtime = mtime;
+    SwapModel(reloaded.MoveValue());
+    obs::MetricsRegistry::Global().GetCounter("sam.serve.model_swaps")->Add(1);
+  }
+}
+
+std::string SamServer::StatsJson() const {
+  size_t depth = 0;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    depth = queue_.size();
+  }
+  size_t jobs_running = 0;
+  size_t jobs_total = 0;
+  {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    jobs_total = jobs_.size();
+    for (const auto& [id, job] : jobs_) {
+      (void)id;
+      std::lock_guard<std::mutex> jlock(job->mu);
+      if (job->status.state == "queued" || job->status.state == "running") {
+        ++jobs_running;
+      }
+    }
+  }
+  const obs::Histogram::Snapshot lat = obs::MetricsRegistry::Global()
+                                           .GetHistogram("sam.serve.latency_ms")
+                                           ->Snap();
+  char lat_buf[160];
+  std::snprintf(lat_buf, sizeof(lat_buf),
+                "{\"count\": %llu, \"p50\": %.6g, \"p99\": %.6g}",
+                static_cast<unsigned long long>(lat.count),
+                lat.Percentile(0.5), lat.Percentile(0.99));
+  return "{\"queue_depth\": " + std::to_string(depth) +
+         ", \"requests\": " + std::to_string(requests_total_.load()) +
+         ", \"responses\": " + std::to_string(responses_total_.load()) +
+         ", \"errors\": " + std::to_string(errors_total_.load()) +
+         ", \"batches\": " + std::to_string(batches_total_.load()) +
+         ", \"plan_cache\": {\"hits\": " + std::to_string(plan_cache_.hits()) +
+         ", \"misses\": " + std::to_string(plan_cache_.misses()) +
+         ", \"size\": " + std::to_string(plan_cache_.size()) + "}" +
+         ", \"model_swaps\": " + std::to_string(model_swaps_.load()) +
+         ", \"jobs\": {\"running\": " + std::to_string(jobs_running) +
+         ", \"total\": " + std::to_string(jobs_total) + "}" +
+         ", \"latency_ms\": " + lat_buf + "}";
+}
+
+}  // namespace sam::serve

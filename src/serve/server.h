@@ -1,0 +1,175 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/executor.h"
+#include "sam/sam_model.h"
+#include "serve/plan_cache.h"
+#include "serve/protocol.h"
+
+namespace sam {
+class ThreadPool;
+}
+
+namespace sam::serve {
+
+/// \brief Configuration of the serve daemon.
+struct ServeOptions {
+  std::string host = "127.0.0.1";
+  /// TCP port; 0 binds an ephemeral port (read it back via `port()`).
+  int port = 0;
+  /// Bounded request queue between readers and the dispatcher. When full,
+  /// new requests are shed immediately with an "overloaded" error instead of
+  /// stalling the connection.
+  size_t queue_capacity = 256;
+  /// Max requests the dispatcher coalesces into one executor call. 1 turns
+  /// cross-client batching off (the one-request-per-call baseline that
+  /// `bench_serve` compares against).
+  size_t batch_max = 64;
+  /// Executor worker threads for coalesced cardinality batches (0 =
+  /// hardware concurrency).
+  size_t worker_threads = 0;
+  /// Compiled-plan LRU capacity (0 disables plan caching).
+  size_t plan_cache_capacity = 256;
+  /// Max time a request may wait in the queue before it is answered with a
+  /// timeout error (0 = no timeout).
+  int64_t request_timeout_ms = 30000;
+  /// Progressive-sampling paths for model estimates when the request does
+  /// not specify `paths` (matches the CLI estimate default).
+  size_t estimate_paths_default = 400;
+  /// Benchmark baseline: answer each true-cardinality request with its own
+  /// `Executor::ParallelCardinality` call (per-call pool construction and
+  /// query compilation, no coalescing, no plan cache) — the pre-daemon batch
+  /// API invoked once per request. `bench_serve` measures the serve fast
+  /// path against this.
+  bool per_request_executor = false;
+
+  /// Model artifact to watch for hot-swap. When set together with
+  /// `watch_interval_ms` and `reload_model`, a watcher thread polls the
+  /// file's mtime and swaps in a freshly loaded model without dropping
+  /// requests: the reload is staged off to the side and applied atomically
+  /// only on success, and in-flight requests keep the snapshot they started
+  /// with.
+  std::string model_path;
+  int64_t watch_interval_ms = 0;
+  std::function<Result<std::shared_ptr<const SamModel>>()> reload_model;
+};
+
+/// \brief Always-on estimation/generation daemon.
+///
+/// Owns the listening socket and four kinds of threads: an accept loop, one
+/// reader per connection, a dispatcher that drains the bounded request queue
+/// and coalesces cardinality work across clients into single
+/// `Executor::ParallelCardinalityCompiled` calls, and (optionally) a
+/// model-file watcher for zero-downtime hot swap. `Stop()` drains
+/// gracefully: accepted requests are answered before the socket closes.
+///
+/// The database, executor and model are loaded once at construction and
+/// shared by every request; per-request state is confined to scratch
+/// buffers, so concurrent clients see answers bit-identical to the batch
+/// CLI paths.
+class SamServer {
+ public:
+  /// `db` and `exec` must outlive the server; `model` is shared (hot swaps
+  /// replace the pointer, never mutate the pointee).
+  SamServer(const Database* db, const Executor* exec,
+            std::shared_ptr<const SamModel> model, ServeOptions options);
+  ~SamServer();
+
+  SamServer(const SamServer&) = delete;
+  SamServer& operator=(const SamServer&) = delete;
+
+  /// Binds, listens and launches the service threads.
+  Status Start();
+
+  /// Graceful drain: stops accepting, answers every already-read request,
+  /// stops generation jobs at their next durable step, then joins all
+  /// threads and closes every connection. Idempotent.
+  void Stop();
+
+  /// Bound port (valid after Start; resolves ephemeral binds).
+  int port() const { return port_; }
+
+  /// Atomically replaces the served model. In-flight requests finish on the
+  /// snapshot they took; later requests see the new model.
+  void SwapModel(std::shared_ptr<const SamModel> model);
+
+  /// Serve-side counters/gauges as one JSON object (also the payload of the
+  /// "stats" request).
+  std::string StatsJson() const;
+
+  /// Lifetime count of completed model hot-swaps (tests).
+  uint64_t model_swaps() const {
+    return model_swaps_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Conn;
+  struct Pending;
+  struct GenJob;
+
+  std::shared_ptr<const SamModel> ModelSnapshot() const;
+  void WriteLine(Conn* conn, const std::string& line);
+  void Respond(Pending* p, const std::string& line, bool is_error);
+
+  void AcceptLoop();
+  void ReaderLoop(std::shared_ptr<Conn> conn);
+  void DispatchLoop();
+  void WatchLoop();
+
+  /// Handles one raw request line from `conn` (parse, fast-path or enqueue).
+  void HandleLine(const std::shared_ptr<Conn>& conn, const std::string& line);
+  void DispatchBatch(std::vector<Pending>* batch);
+
+  std::string HandleGenerate(const Request& req);
+  std::string HandleGenerateStatus(const Request& req);
+
+  const Database* db_;
+  const Executor* exec_;
+  ServeOptions options_;
+
+  mutable std::mutex model_mu_;
+  std::shared_ptr<const SamModel> model_;
+
+  PlanCache plan_cache_;
+  std::unique_ptr<ThreadPool> pool_;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopping_{false};
+
+  std::thread accept_thread_;
+  std::thread dispatch_thread_;
+  std::thread watch_thread_;
+  std::mutex conns_mu_;
+  std::vector<std::thread> reader_threads_;
+  std::vector<std::shared_ptr<Conn>> conns_;
+
+  mutable std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<Pending> queue_;
+
+  mutable std::mutex jobs_mu_;
+  int64_t next_job_id_ = 1;
+  std::map<int64_t, std::shared_ptr<GenJob>> jobs_;
+
+  std::atomic<uint64_t> requests_total_{0};
+  std::atomic<uint64_t> responses_total_{0};
+  std::atomic<uint64_t> errors_total_{0};
+  std::atomic<uint64_t> batches_total_{0};
+  std::atomic<uint64_t> model_swaps_{0};
+};
+
+}  // namespace sam::serve

@@ -97,26 +97,69 @@ Result<PredOp> ParseOpTag(const std::string& tag) {
 
 }  // namespace
 
+std::string EncodeWorkloadQuery(const Query& q) {
+  std::ostringstream out;
+  out << Join(q.relations, ",") << '\t';
+  for (size_t i = 0; i < q.predicates.size(); ++i) {
+    const Predicate& p = q.predicates[i];
+    if (i > 0) out << ';';
+    out << p.table << '|' << p.column << '|' << OpTag(p.op) << '|';
+    if (p.op == PredOp::kIn) {
+      for (size_t j = 0; j < p.in_list.size(); ++j) {
+        if (j > 0) out << ',';
+        out << EncodeValue(p.in_list[j]);
+      }
+    } else {
+      out << EncodeValue(p.literal);
+    }
+  }
+  out << '\t' << q.cardinality;
+  return out.str();
+}
+
+Result<Query> ParseWorkloadQuery(const std::string& line, bool require_card) {
+  const auto sections = Split(line, '\t');
+  if (sections.size() != 3 && (require_card || sections.size() != 2)) {
+    return Status::InvalidArgument("bad query format (want relations \\t "
+                                   "predicates \\t card)");
+  }
+  Query q;
+  q.relations = Split(sections[0], ',');
+  if (!sections[1].empty()) {
+    for (const auto& ptext : Split(sections[1], ';')) {
+      const auto parts = Split(ptext, '|');
+      if (parts.size() != 4) {
+        return Status::InvalidArgument("bad predicate '" + ptext + "'");
+      }
+      Predicate p;
+      p.table = parts[0];
+      p.column = parts[1];
+      SAM_ASSIGN_OR_RETURN(p.op, ParseOpTag(parts[2]));
+      if (p.op == PredOp::kIn) {
+        for (const auto& vtext : Split(parts[3], ',')) {
+          SAM_ASSIGN_OR_RETURN(Value v, DecodeValue(vtext));
+          p.in_list.push_back(std::move(v));
+        }
+      } else {
+        SAM_ASSIGN_OR_RETURN(p.literal, DecodeValue(parts[3]));
+      }
+      q.predicates.push_back(std::move(p));
+    }
+  }
+  if (sections.size() == 3) {
+    SAM_ASSIGN_OR_RETURN(q.cardinality, ParseInt64(sections[2]));
+  } else {
+    q.cardinality = -1;
+  }
+  return q;
+}
+
 Status SaveWorkload(const Workload& workload, const std::string& path) {
   // Serialise fully in memory, then publish with an atomic rename so readers
   // never observe a torn workload file.
   std::ostringstream out;
   for (const auto& q : workload) {
-    out << Join(q.relations, ",") << '\t';
-    for (size_t i = 0; i < q.predicates.size(); ++i) {
-      const Predicate& p = q.predicates[i];
-      if (i > 0) out << ';';
-      out << p.table << '|' << p.column << '|' << OpTag(p.op) << '|';
-      if (p.op == PredOp::kIn) {
-        for (size_t j = 0; j < p.in_list.size(); ++j) {
-          if (j > 0) out << ',';
-          out << EncodeValue(p.in_list[j]);
-        }
-      } else {
-        out << EncodeValue(p.literal);
-      }
-    }
-    out << '\t' << q.cardinality << '\n';
+    out << EncodeWorkloadQuery(q) << '\n';
   }
   return AtomicWriteFile(path, out.str());
 }
@@ -130,38 +173,13 @@ Result<Workload> LoadWorkload(const std::string& path) {
   while (std::getline(in, line)) {
     ++line_no;
     if (line.empty()) continue;
-    const auto sections = Split(line, '\t');
-    if (sections.size() != 3) {
+    auto q = ParseWorkloadQuery(line, /*require_card=*/true);
+    if (!q.ok()) {
       return Status::InvalidArgument("workload '" + path + "' line " +
-                                     std::to_string(line_no) + ": bad format");
+                                     std::to_string(line_no) + ": " +
+                                     q.status().message());
     }
-    Query q;
-    q.relations = Split(sections[0], ',');
-    if (!sections[1].empty()) {
-      for (const auto& ptext : Split(sections[1], ';')) {
-        const auto parts = Split(ptext, '|');
-        if (parts.size() != 4) {
-          return Status::InvalidArgument("workload '" + path + "' line " +
-                                         std::to_string(line_no) +
-                                         ": bad predicate '" + ptext + "'");
-        }
-        Predicate p;
-        p.table = parts[0];
-        p.column = parts[1];
-        SAM_ASSIGN_OR_RETURN(p.op, ParseOpTag(parts[2]));
-        if (p.op == PredOp::kIn) {
-          for (const auto& vtext : Split(parts[3], ',')) {
-            SAM_ASSIGN_OR_RETURN(Value v, DecodeValue(vtext));
-            p.in_list.push_back(std::move(v));
-          }
-        } else {
-          SAM_ASSIGN_OR_RETURN(p.literal, DecodeValue(parts[3]));
-        }
-        q.predicates.push_back(std::move(p));
-      }
-    }
-    q.cardinality = std::strtoll(sections[2].c_str(), nullptr, 10);
-    out.push_back(std::move(q));
+    out.push_back(q.MoveValue());
   }
   return out;
 }

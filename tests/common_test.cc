@@ -158,6 +158,42 @@ TEST(StringUtilTest, TrimStripsWhitespace) {
   EXPECT_EQ(Trim("   "), "");
 }
 
+TEST(StringUtilTest, ParseInt64AcceptsWholeIntegers) {
+  EXPECT_EQ(ParseInt64("42").ValueOrDie(), 42);
+  EXPECT_EQ(ParseInt64("-7").ValueOrDie(), -7);
+  EXPECT_EQ(ParseInt64("  1048576  ").ValueOrDie(), 1048576);
+  EXPECT_EQ(ParseInt64("9223372036854775807").ValueOrDie(),
+            INT64_C(9223372036854775807));
+}
+
+TEST(StringUtilTest, ParseInt64RejectsJunkAndOverflow) {
+  EXPECT_EQ(ParseInt64("").status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseInt64("   ").status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseInt64("garbage").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseInt64("12abc").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseInt64("3.5").status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseInt64("9223372036854775808").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(StringUtilTest, ParseFloat64AcceptsFiniteNumbers) {
+  EXPECT_DOUBLE_EQ(ParseFloat64("1.5").ValueOrDie(), 1.5);
+  EXPECT_DOUBLE_EQ(ParseFloat64("-2e3").ValueOrDie(), -2000.0);
+  EXPECT_DOUBLE_EQ(ParseFloat64(" 0.25 ").ValueOrDie(), 0.25);
+}
+
+TEST(StringUtilTest, ParseFloat64RejectsJunkAndInfinity) {
+  EXPECT_EQ(ParseFloat64("").status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseFloat64("garbage").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseFloat64("1.5x").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseFloat64("1e999").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
 TEST(StringUtilTest, FormatMetricSwitchesNotation) {
   EXPECT_EQ(FormatMetric(1.274), "1.27");
   EXPECT_EQ(FormatMetric(149.53), "149.5");

@@ -101,13 +101,15 @@ Result<GenerationRunSummary> RunPipeline(const SamModel& sam,
                                          const std::string& out,
                                          const std::string& work, bool resume,
                                          uint64_t stop_after_steps = 0,
-                                         std::atomic<bool>* stop_flag = nullptr) {
+                                         std::atomic<bool>* stop_flag = nullptr,
+                                         size_t partition_threads = 0) {
   GenerationPipelineOptions o;
   o.out_dir = out;
   o.work_dir = work;
   o.resume = resume;
   o.stop_after_steps = stop_after_steps;
   o.stop_flag = stop_flag;
+  o.partition_threads = partition_threads;
   GenerationPipeline p(&sam, o);
   return p.Run();
 }
@@ -316,6 +318,36 @@ TEST(GenerationPipelineTest, PartitionedRunResumesByteIdentical) {
   auto rest = RunPipeline(*sam, root + "/out", root + "/work", true);
   ASSERT_TRUE(rest.ok()) << rest.status().ToString();
   EXPECT_EQ(ReadTree(root + "/out"), ReadTree(root + "/golden"));
+}
+
+// Suite name contains "Parallel" so the TSan CI job picks it up.
+TEST(ParallelPartitionTest, PrefetchIsByteIdenticalAcrossThreadCounts) {
+  const Database db = MakeChainDatabase();
+  SamOptions tight;
+  tight.foj_samples = 8192;
+  tight.memory_cap_bytes = 4ll << 20;  // Forces partition fan-out > 1.
+  const auto sam = MakeChainModel(db, tight);
+  const std::string root = TempDir("sam_pipe_parallel_part");
+
+  auto serial = RunPipeline(*sam, root + "/out1", root + "/w1", false,
+                            /*stop_after_steps=*/0, /*stop_flag=*/nullptr,
+                            /*partition_threads=*/1);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  ASSERT_TRUE(serial.ValueOrDie().completed);
+  const auto golden = ReadTree(root + "/out1");
+
+  size_t variant = 2;
+  for (size_t threads : {size_t{0}, size_t{3}}) {  // 0 = hardware concurrency.
+    const std::string out = root + "/out" + std::to_string(variant);
+    const std::string work = root + "/w" + std::to_string(variant);
+    ++variant;
+    auto r = RunPipeline(*sam, out, work, false, 0, nullptr, threads);
+    ASSERT_TRUE(r.ok()) << "threads=" << threads << ": "
+                        << r.status().ToString();
+    EXPECT_LE(r.ValueOrDie().peak_reserved, tight.memory_cap_bytes)
+        << "threads=" << threads;
+    EXPECT_EQ(ReadTree(out), golden) << "threads=" << threads;
+  }
 }
 
 TEST(GenerationPipelineTest, TooTightCapFailsCleanlyNotOom) {

@@ -4,10 +4,12 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <fstream>
 #include <limits>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/thread_pool.h"
@@ -123,6 +125,48 @@ TEST_F(ObsTest, RegistryResetZeroesButKeepsPointersValid) {
   c->Add(2);  // The cached pointer must still be live after Reset.
   EXPECT_EQ(c->Value(), 2u);
   EXPECT_EQ(MetricsRegistry::Global().GetCounter("test.counter.reset"), c);
+}
+
+TEST_F(ObsTest, ExportWhileWritersHammerStaysConsistent) {
+  // Concurrent Add/Set/Observe against ToJson/ToText exports: every export
+  // must be parseable and the counter must be monotone across exports. Run
+  // under TSan this is the regression test for racy metric export.
+  Counter* c = MetricsRegistry::Global().GetCounter("hammer.counter");
+  Gauge* g = MetricsRegistry::Global().GetGauge("hammer.gauge");
+  Histogram* h = MetricsRegistry::Global().GetHistogram("hammer.hist");
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&, t] {
+      double v = 0.001 * (t + 1);
+      while (!stop.load(std::memory_order_relaxed)) {
+        c->Add(1);
+        g->Set(v);
+        h->Observe(v);
+        // New names race registration against export too.
+        MetricsRegistry::Global().GetCounter("hammer.reg." +
+                                             std::to_string(t));
+      }
+    });
+  }
+  uint64_t last_count = 0;
+  for (int round = 0; round < 50; ++round) {
+    const std::string json = MetricsRegistry::Global().ToJson();
+    auto parsed = ParseJson(json);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    const JsonValue* counter =
+        parsed.ValueOrDie().Find("counters")->Find("hammer.counter");
+    ASSERT_NE(counter, nullptr);
+    const uint64_t count = static_cast<uint64_t>(counter->number_value);
+    EXPECT_GE(count, last_count);
+    last_count = count;
+    EXPECT_FALSE(MetricsRegistry::Global().ToText().empty());
+  }
+  stop.store(true);
+  for (auto& t : writers) t.join();
+  EXPECT_GE(c->Value(), last_count);
+  EXPECT_GE(g->Max(), g->Value());
+  EXPECT_GE(h->Snap().max, h->Snap().min);
 }
 
 TEST_F(ObsTest, SpanNestingRecordsDepthAndContainment) {

@@ -8,6 +8,7 @@
 //   label     Re-label a workload with true cardinalities from a database.
 //   evaluate  Compare a generated database against the original on a workload.
 //   estimate  Print progressive-sampling cardinality estimates for a workload.
+//   serve     Always-on estimation/generation daemon (line-delimited JSON/TCP).
 //   stats     Pretty-print --metrics-out / --trace-out files from a prior run.
 //
 // Example session:
@@ -22,6 +23,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -30,6 +32,7 @@
 #include <fstream>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "ar/estimator.h"
@@ -43,6 +46,7 @@
 #include "obs/trace.h"
 #include "sam/generation_pipeline.h"
 #include "sam/sam_model.h"
+#include "serve/server.h"
 #include "storage/schema_io.h"
 #include "workload/generator.h"
 #include "workload/io.h"
@@ -82,16 +86,27 @@ class Flags {
     return it == values_.end() ? fallback : it->second;
   }
 
-  int64_t GetInt(const std::string& key, int64_t fallback) const {
+  /// Checked numeric flag access: malformed values (junk, trailing garbage,
+  /// overflow) fail with an InvalidArgument naming the flag instead of being
+  /// silently truncated to whatever strtoll made of the prefix.
+  Result<int64_t> GetInt(const std::string& key, int64_t fallback) const {
     const auto it = values_.find(key);
-    return it == values_.end() ? fallback
-                               : std::strtoll(it->second.c_str(), nullptr, 10);
+    if (it == values_.end()) return fallback;
+    auto v = ParseInt64(it->second);
+    if (!v.ok()) {
+      return Status::InvalidArgument("--" + key + ": " + v.status().message());
+    }
+    return v;
   }
 
-  double GetDouble(const std::string& key, double fallback) const {
+  Result<double> GetDouble(const std::string& key, double fallback) const {
     const auto it = values_.find(key);
-    return it == values_.end() ? fallback
-                               : std::strtod(it->second.c_str(), nullptr);
+    if (it == values_.end()) return fallback;
+    auto v = ParseFloat64(it->second);
+    if (!v.ok()) {
+      return Status::InvalidArgument("--" + key + ": " + v.status().message());
+    }
+    return v;
   }
 
   bool GetBool(const std::string& key) const {
@@ -110,6 +125,17 @@ int Fail(const std::string& msg) {
 }
 
 int FailStatus(const Status& st) { return Fail(st.ToString()); }
+
+/// Assigns a Result<> flag parse into `var`, failing the subcommand with the
+/// flag-naming InvalidArgument when the value is malformed.
+#define SAM_CLI_ASSIGN(var, expr)                                \
+  do {                                                           \
+    auto sam_cli_result_ = (expr);                               \
+    if (!sam_cli_result_.ok()) {                                 \
+      return FailStatus(sam_cli_result_.status());               \
+    }                                                            \
+    (var) = sam_cli_result_.MoveValue();                         \
+  } while (false)
 
 /// Built-in SchemaHints presets matching the bundled datasets.
 Result<SchemaHints> HintsByName(const std::string& name) {
@@ -148,27 +174,40 @@ Status ApplyNumericSpecs(const std::string& spec, SchemaHints* hints) {
       return Status::InvalidArgument("bad --numeric item '" + item +
                                      "' (want table.col:min:max)");
     }
+    double lo = 0;
+    double hi = 0;
+    SAM_ASSIGN_OR_RETURN(lo, ParseFloat64(parts[1]));
+    SAM_ASSIGN_OR_RETURN(hi, ParseFloat64(parts[2]));
     hints->numeric_columns.push_back(parts[0]);
-    hints->numeric_bounds[parts[0]] = {std::strtod(parts[1].c_str(), nullptr),
-                                       std::strtod(parts[2].c_str(), nullptr)};
+    hints->numeric_bounds[parts[0]] = {lo, hi};
   }
   return Status::OK();
 }
 
-SamOptions OptionsFromFlags(const Flags& flags) {
+Result<SamOptions> OptionsFromFlags(const Flags& flags) {
   SamOptions options;
-  options.training.epochs = static_cast<size_t>(flags.GetInt("epochs", 10));
-  options.training.batch_size = static_cast<size_t>(flags.GetInt("batch", 64));
-  options.training.learning_rate = flags.GetDouble("lr", 3e-3);
-  options.training.sample_paths = static_cast<size_t>(flags.GetInt("paths", 2));
-  options.training.time_budget_seconds = flags.GetDouble("time-budget", 0);
-  options.training.seed = static_cast<uint64_t>(flags.GetInt("seed", 777));
-  const int64_t hidden = flags.GetInt("hidden", 48);
+  int64_t v = 0;
+  SAM_ASSIGN_OR_RETURN(v, flags.GetInt("epochs", 10));
+  options.training.epochs = static_cast<size_t>(v);
+  SAM_ASSIGN_OR_RETURN(v, flags.GetInt("batch", 64));
+  options.training.batch_size = static_cast<size_t>(v);
+  SAM_ASSIGN_OR_RETURN(options.training.learning_rate,
+                       flags.GetDouble("lr", 3e-3));
+  SAM_ASSIGN_OR_RETURN(v, flags.GetInt("paths", 2));
+  options.training.sample_paths = static_cast<size_t>(v);
+  SAM_ASSIGN_OR_RETURN(options.training.time_budget_seconds,
+                       flags.GetDouble("time-budget", 0));
+  SAM_ASSIGN_OR_RETURN(v, flags.GetInt("seed", 777));
+  options.training.seed = static_cast<uint64_t>(v);
+  int64_t hidden = 0;
+  SAM_ASSIGN_OR_RETURN(hidden, flags.GetInt("hidden", 48));
   options.model.hidden_sizes = {static_cast<size_t>(hidden),
                                 static_cast<size_t>(hidden)};
-  options.foj_samples = static_cast<size_t>(flags.GetInt("foj-samples", 60000));
+  SAM_ASSIGN_OR_RETURN(v, flags.GetInt("foj-samples", 60000));
+  options.foj_samples = static_cast<size_t>(v);
   options.use_group_and_merge = !flags.GetBool("no-group-and-merge");
-  options.generation_seed = static_cast<uint64_t>(flags.GetInt("gen-seed", 999));
+  SAM_ASSIGN_OR_RETURN(v, flags.GetInt("gen-seed", 999));
+  options.generation_seed = static_cast<uint64_t>(v);
   return options;
 }
 
@@ -176,8 +215,12 @@ int CmdDataset(const Flags& flags) {
   const std::string kind = flags.Get("kind", "census");
   const std::string out = flags.Get("out");
   if (out.empty()) return Fail("dataset: --out=DIR is required");
-  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
-  const size_t rows = static_cast<size_t>(flags.GetInt("rows", 8000));
+  int64_t seed_i = 0;
+  int64_t rows_i = 0;
+  SAM_CLI_ASSIGN(seed_i, flags.GetInt("seed", 1));
+  SAM_CLI_ASSIGN(rows_i, flags.GetInt("rows", 8000));
+  const uint64_t seed = static_cast<uint64_t>(seed_i);
+  const size_t rows = static_cast<size_t>(rows_i);
   Database db;
   if (kind == "census") {
     db = MakeCensusLike(rows, seed);
@@ -210,8 +253,12 @@ int CmdWorkload(const Flags& flags) {
   if (!exec.ok()) return FailStatus(exec.status());
 
   Result<Workload> workload = Status::Internal("unset");
-  const size_t n = static_cast<size_t>(flags.GetInt("queries", 1000));
-  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 100));
+  int64_t n_i = 0;
+  int64_t seed_i = 0;
+  SAM_CLI_ASSIGN(n_i, flags.GetInt("queries", 1000));
+  SAM_CLI_ASSIGN(seed_i, flags.GetInt("seed", 100));
+  const size_t n = static_cast<size_t>(n_i);
+  const uint64_t seed = static_cast<uint64_t>(seed_i);
   if (flags.GetBool("joblight")) {
     JobLightWorkloadOptions opts;
     opts.num_queries = n;
@@ -221,15 +268,19 @@ int CmdWorkload(const Flags& flags) {
     MultiRelationWorkloadOptions opts;
     opts.num_queries = n;
     opts.seed = seed;
-    opts.max_joins = static_cast<size_t>(flags.GetInt("max-joins", 2));
+    int64_t max_joins = 0;
+    SAM_CLI_ASSIGN(max_joins, flags.GetInt("max-joins", 2));
+    opts.max_joins = static_cast<size_t>(max_joins);
     workload =
         GenerateMultiRelationWorkload(db.ValueOrDie(), *exec.ValueOrDie(), opts);
   } else {
     SingleRelationWorkloadOptions opts;
     opts.num_queries = n;
     opts.seed = seed;
-    opts.coverage_ratio = flags.GetDouble("coverage", 1.0);
-    opts.max_filters = static_cast<size_t>(flags.GetInt("max-filters", 5));
+    SAM_CLI_ASSIGN(opts.coverage_ratio, flags.GetDouble("coverage", 1.0));
+    int64_t max_filters = 0;
+    SAM_CLI_ASSIGN(max_filters, flags.GetInt("max-filters", 5));
+    opts.max_filters = static_cast<size_t>(max_filters);
     const std::string table =
         flags.Get("table", db.ValueOrDie().tables()[0].name());
     workload = GenerateSingleRelationWorkload(db.ValueOrDie(), table,
@@ -245,7 +296,13 @@ int CmdWorkload(const Flags& flags) {
 
 /// Shared setup for train/generate/estimate: load database, workload, hints.
 struct PipelineInputs {
-  Database db;
+  /// Heap-allocated so its address survives moving the struct: `exec` (and
+  /// the serve daemon) hold raw `Database*` pointers into it. Holding it by
+  /// value left `exec->db_` dangling after `LoadPipelineInputs` returned —
+  /// harmless for the batch commands (none used `exec` post-return) but
+  /// fatal for `serve`, which evaluates through it for the daemon's
+  /// lifetime.
+  std::unique_ptr<Database> db;
   std::unique_ptr<Executor> exec;
   Workload workload;
   SchemaHints hints;
@@ -256,16 +313,17 @@ Result<PipelineInputs> LoadPipelineInputs(const Flags& flags) {
   PipelineInputs in;
   const std::string db_dir = flags.Get("db");
   if (db_dir.empty()) return Status::InvalidArgument("--db=DIR is required");
-  SAM_ASSIGN_OR_RETURN(in.db, LoadDatabase(db_dir));
-  SAM_ASSIGN_OR_RETURN(in.exec, Executor::Create(&in.db));
+  SAM_ASSIGN_OR_RETURN(Database db, LoadDatabase(db_dir));
+  in.db = std::make_unique<Database>(std::move(db));
+  SAM_ASSIGN_OR_RETURN(in.exec, Executor::Create(in.db.get()));
   const std::string wl = flags.Get("workload");
   if (wl.empty()) return Status::InvalidArgument("--workload=FILE is required");
   SAM_ASSIGN_OR_RETURN(in.workload, LoadWorkload(wl));
   SAM_ASSIGN_OR_RETURN(in.hints, HintsByName(flags.Get("hints")));
   SAM_RETURN_NOT_OK(ApplyNumericSpecs(flags.Get("numeric"), &in.hints));
-  in.foj_size = in.db.num_tables() > 1
+  in.foj_size = in.db->num_tables() > 1
                     ? in.exec->FullOuterJoinSize()
-                    : static_cast<int64_t>(in.db.tables()[0].num_rows());
+                    : static_cast<int64_t>(in.db->tables()[0].num_rows());
   return in;
 }
 
@@ -284,9 +342,10 @@ int CmdLabel(const Flags& flags) {
   if (!exec.ok()) return FailStatus(exec.status());
   auto workload = LoadWorkload(wl_path);
   if (!workload.ok()) return FailStatus(workload.status());
-  const size_t threads = static_cast<size_t>(flags.GetInt("threads", 0));
-  auto cards = exec.ValueOrDie()->ParallelCardinality(workload.ValueOrDie(),
-                                                      threads);
+  int64_t threads_i = 0;
+  SAM_CLI_ASSIGN(threads_i, flags.GetInt("threads", 0));
+  auto cards = exec.ValueOrDie()->ParallelCardinality(
+      workload.ValueOrDie(), static_cast<size_t>(threads_i));
   if (!cards.ok()) return FailStatus(cards.status());
   for (size_t i = 0; i < workload.ValueOrDie().size(); ++i) {
     workload.ValueOrDie()[i].cardinality = cards.ValueOrDie()[i];
@@ -305,12 +364,15 @@ int CmdTrain(const Flags& flags) {
   const std::string model_out = flags.Get("model-out");
   if (model_out.empty()) return Fail("train: --model-out=FILE is required");
 
-  SamOptions options = OptionsFromFlags(flags);
+  SamOptions options;
+  SAM_CLI_ASSIGN(options, OptionsFromFlags(flags));
   options.training.checkpoint_dir = flags.Get("checkpoint-dir");
-  options.training.checkpoint_every_epochs =
-      static_cast<size_t>(flags.GetInt("checkpoint-every", 1));
-  options.training.checkpoint_keep =
-      static_cast<size_t>(flags.GetInt("checkpoint-keep", 2));
+  int64_t ckpt_every = 0;
+  int64_t ckpt_keep = 0;
+  SAM_CLI_ASSIGN(ckpt_every, flags.GetInt("checkpoint-every", 1));
+  SAM_CLI_ASSIGN(ckpt_keep, flags.GetInt("checkpoint-keep", 2));
+  options.training.checkpoint_every_epochs = static_cast<size_t>(ckpt_every);
+  options.training.checkpoint_keep = static_cast<size_t>(ckpt_keep);
   options.training.resume = flags.GetBool("resume");
   options.training.stop_flag = &g_stop_requested;
   std::signal(SIGINT, HandleStopSignal);
@@ -319,7 +381,8 @@ int CmdTrain(const Flags& flags) {
   // --stop-after-epochs=N requests a cooperative stop once N epochs have
   // completed *in total* (including epochs replayed from a checkpoint). Used
   // by tests/CI to exercise the interrupt/resume path deterministically.
-  const int64_t stop_after = flags.GetInt("stop-after-epochs", 0);
+  int64_t stop_after = 0;
+  SAM_CLI_ASSIGN(stop_after, flags.GetInt("stop-after-epochs", 0));
   auto on_epoch = [stop_after](const DpsEpochStats& s) {
     std::printf("epoch %zu: loss=%.4f (%.1fs)\n", s.epoch, s.mean_loss,
                 s.seconds_elapsed);
@@ -329,7 +392,7 @@ int CmdTrain(const Flags& flags) {
     }
   };
 
-  auto sam = SamModel::Train(in.db, in.workload, in.hints, in.foj_size,
+  auto sam = SamModel::Train(*in.db, in.workload, in.hints, in.foj_size,
                              options, on_epoch);
   if (!sam.ok()) return FailStatus(sam.status());
   if (g_stop_requested.load() && !options.training.checkpoint_dir.empty()) {
@@ -345,6 +408,29 @@ int CmdTrain(const Flags& flags) {
 }
 
 int CmdGenerate(const Flags& flags) {
+  // Validate flags before the (expensive) input load, so a typo like
+  // --memory-cap=garbage fails immediately, naming the flag.
+  SamOptions options;
+  SAM_CLI_ASSIGN(options, OptionsFromFlags(flags));
+  int64_t gen_batch = 0;
+  SAM_CLI_ASSIGN(gen_batch, flags.GetInt(
+      "gen-batch", static_cast<int64_t>(options.generation_batch)));
+  options.generation_batch = static_cast<size_t>(gen_batch);
+  if (flags.Has("memory-cap")) {
+    int64_t cap_mib = 0;
+    SAM_CLI_ASSIGN(cap_mib, flags.GetInt("memory-cap", 0));
+    if (cap_mib < 0) return Fail("generate: --memory-cap=MiB must be >= 0");
+    options.memory_cap_bytes = cap_mib << 20;
+  }
+  SAM_CLI_ASSIGN(options.generation_checkpoint_every,
+                 flags.GetInt("checkpoint-every",
+                              options.generation_checkpoint_every));
+  int64_t partition_threads = 0;
+  SAM_CLI_ASSIGN(partition_threads, flags.GetInt("partition-threads", 0));
+  if (partition_threads < 0) {
+    return Fail("generate: --partition-threads must be >= 0");
+  }
+
   auto inputs = LoadPipelineInputs(flags);
   if (!inputs.ok()) return FailStatus(inputs.status());
   PipelineInputs& in = inputs.ValueOrDie();
@@ -354,18 +440,7 @@ int CmdGenerate(const Flags& flags) {
     return Fail("generate: --model=FILE and --out=DIR are required");
   }
 
-  SamOptions options = OptionsFromFlags(flags);
-  options.generation_batch = static_cast<size_t>(
-      flags.GetInt("gen-batch", static_cast<int64_t>(options.generation_batch)));
-  if (flags.Has("memory-cap")) {
-    const int64_t cap_mib = flags.GetInt("memory-cap", 0);
-    if (cap_mib < 0) return Fail("generate: --memory-cap=MiB must be >= 0");
-    options.memory_cap_bytes = cap_mib << 20;
-  }
-  options.generation_checkpoint_every =
-      flags.GetInt("checkpoint-every", options.generation_checkpoint_every);
-
-  auto sam = SamModel::Create(in.db, in.workload, in.hints, in.foj_size,
+  auto sam = SamModel::Create(*in.db, in.workload, in.hints, in.foj_size,
                               options);
   if (!sam.ok()) return FailStatus(sam.status());
   Status st = sam.ValueOrDie()->model()->Load(model_path);
@@ -395,10 +470,13 @@ int CmdGenerate(const Flags& flags) {
   popts.work_dir = flags.Get("checkpoint-dir", out + ".work");
   popts.resume = flags.GetBool("resume");
   popts.stop_flag = &g_stop_requested;
-  popts.stop_after_steps =
-      static_cast<uint64_t>(flags.GetInt("stop-after-steps", 0));
-  popts.checkpoint_keep =
-      static_cast<size_t>(flags.GetInt("checkpoint-keep", 3));
+  int64_t stop_after_steps = 0;
+  int64_t ckpt_keep = 0;
+  SAM_CLI_ASSIGN(stop_after_steps, flags.GetInt("stop-after-steps", 0));
+  SAM_CLI_ASSIGN(ckpt_keep, flags.GetInt("checkpoint-keep", 3));
+  popts.stop_after_steps = static_cast<uint64_t>(stop_after_steps);
+  popts.checkpoint_keep = static_cast<size_t>(ckpt_keep);
+  popts.partition_threads = static_cast<size_t>(partition_threads);
   popts.keep_work_dir = flags.GetBool("keep-work");
   std::signal(SIGINT, HandleStopSignal);
   std::signal(SIGTERM, HandleStopSignal);
@@ -484,17 +562,23 @@ int CmdEstimate(const Flags& flags) {
   PipelineInputs& in = inputs.ValueOrDie();
   const std::string model_path = flags.Get("model");
   if (model_path.empty()) return Fail("estimate: --model=FILE is required");
-  auto sam = SamModel::Create(in.db, in.workload, in.hints, in.foj_size,
-                              OptionsFromFlags(flags));
+  SamOptions options;
+  SAM_CLI_ASSIGN(options, OptionsFromFlags(flags));
+  auto sam = SamModel::Create(*in.db, in.workload, in.hints, in.foj_size,
+                              options);
   if (!sam.ok()) return FailStatus(sam.status());
   Status st = sam.ValueOrDie()->model()->Load(model_path);
   if (!st.ok()) return FailStatus(st);
   sam.ValueOrDie()->model()->SyncSamplerWeights();
 
+  int64_t paths = 0;
+  int64_t limit_i = 0;
+  SAM_CLI_ASSIGN(paths, flags.GetInt("paths", 400));
+  SAM_CLI_ASSIGN(limit_i, flags.GetInt(
+      "limit", static_cast<int64_t>(in.workload.size())));
   ProgressiveEstimator estimator(sam.ValueOrDie()->model(),
-                                 static_cast<size_t>(flags.GetInt("paths", 400)));
-  const size_t limit = static_cast<size_t>(
-      flags.GetInt("limit", static_cast<int64_t>(in.workload.size())));
+                                 static_cast<size_t>(paths));
+  const size_t limit = static_cast<size_t>(limit_i);
   std::vector<double> qerrors;
   for (size_t i = 0; i < std::min(limit, in.workload.size()); ++i) {
     const Query& q = in.workload[i];
@@ -512,6 +596,94 @@ int CmdEstimate(const Flags& flags) {
   std::printf("estimator Q-Error: median=%s 90th=%s mean=%s (n=%zu)\n",
               FormatMetric(s.median).c_str(), FormatMetric(s.p90).c_str(),
               FormatMetric(s.mean).c_str(), s.count);
+  return 0;
+}
+
+/// Long-lived daemon: loads the database/model once, then answers concurrent
+/// estimation and generation requests over line-delimited JSON/TCP until
+/// SIGINT/SIGTERM triggers a graceful drain.
+int CmdServe(const Flags& flags) {
+  auto inputs = LoadPipelineInputs(flags);
+  if (!inputs.ok()) return FailStatus(inputs.status());
+  PipelineInputs& in = inputs.ValueOrDie();
+  const std::string model_path = flags.Get("model");
+  if (model_path.empty()) return Fail("serve: --model=FILE is required");
+  SamOptions options;
+  SAM_CLI_ASSIGN(options, OptionsFromFlags(flags));
+
+  // Shared by startup and the hot-swap watcher: build an untrained SAM for
+  // the schema, then load weights from the artifact. The watcher stages the
+  // whole load off to the side and the server applies it atomically, so a
+  // re-trained model dropped onto --model goes live with zero downtime.
+  auto load_model =
+      [&in, &options,
+       model_path]() -> Result<std::shared_ptr<const SamModel>> {
+    SAM_ASSIGN_OR_RETURN(
+        std::unique_ptr<SamModel> sam,
+        SamModel::Create(*in.db, in.workload, in.hints, in.foj_size, options));
+    SAM_RETURN_NOT_OK(sam->model()->Load(model_path));
+    sam->model()->SyncSamplerWeights();
+    return std::shared_ptr<const SamModel>(std::move(sam));
+  };
+  auto model = load_model();
+  if (!model.ok()) return FailStatus(model.status());
+
+  serve::ServeOptions sopts;
+  sopts.host = flags.Get("host", "127.0.0.1");
+  int64_t v = 0;
+  SAM_CLI_ASSIGN(v, flags.GetInt("port", 0));
+  if (v < 0 || v > 65535) return Fail("serve: --port must be in [0, 65535]");
+  sopts.port = static_cast<int>(v);
+  SAM_CLI_ASSIGN(v, flags.GetInt("queue-cap", 256));
+  if (v < 1) return Fail("serve: --queue-cap must be >= 1");
+  sopts.queue_capacity = static_cast<size_t>(v);
+  SAM_CLI_ASSIGN(v, flags.GetInt("batch-max", 64));
+  if (v < 1) return Fail("serve: --batch-max must be >= 1");
+  sopts.batch_max = static_cast<size_t>(v);
+  SAM_CLI_ASSIGN(v, flags.GetInt("threads", 0));
+  if (v < 0) return Fail("serve: --threads must be >= 0");
+  sopts.worker_threads = static_cast<size_t>(v);
+  SAM_CLI_ASSIGN(v, flags.GetInt("plan-cache", 256));
+  if (v < 0) return Fail("serve: --plan-cache must be >= 0");
+  sopts.plan_cache_capacity = static_cast<size_t>(v);
+  SAM_CLI_ASSIGN(v, flags.GetInt("timeout-ms", 30000));
+  if (v < 0) return Fail("serve: --timeout-ms must be >= 0");
+  sopts.request_timeout_ms = v;
+  SAM_CLI_ASSIGN(v, flags.GetInt("paths", 400));
+  if (v < 1) return Fail("serve: --paths must be >= 1");
+  sopts.estimate_paths_default = static_cast<size_t>(v);
+  SAM_CLI_ASSIGN(v, flags.GetInt("watch-ms", 0));
+  if (v < 0) return Fail("serve: --watch-ms must be >= 0");
+  if (v > 0) {
+    sopts.model_path = model_path;
+    sopts.watch_interval_ms = v;
+    sopts.reload_model = load_model;
+  }
+
+  // The daemon always collects metrics: latency histograms and queue gauges
+  // are part of its contract (--metrics-out additionally dumps them on exit).
+  obs::EnableMetrics(true);
+
+  serve::SamServer server(in.db.get(), in.exec.get(), model.MoveValue(), sopts);
+  const Status st = server.Start();
+  if (!st.ok()) return FailStatus(st);
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+  std::printf("serving %s on %s:%d (batch-max=%zu queue-cap=%zu threads=%zu "
+              "plan-cache=%zu watch-ms=%lld)\n",
+              flags.Get("db").c_str(), sopts.host.c_str(), server.port(),
+              sopts.batch_max, sopts.queue_capacity, sopts.worker_threads,
+              sopts.plan_cache_capacity,
+              static_cast<long long>(sopts.watch_interval_ms));
+  std::fflush(stdout);
+
+  while (!g_stop_requested.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::printf("drain: answering in-flight requests\n");
+  std::fflush(stdout);
+  server.Stop();
+  std::printf("final stats: %s\n", server.StatsJson().c_str());
   return 0;
 }
 
@@ -655,6 +827,16 @@ int Usage() {
       "            byte-identical database (see docs/GENERATION.md).\n"
       "  evaluate  --original=DIR --generated=DIR --workload=FILE [--latency]\n"
       "  estimate  --db=DIR --workload=FILE --hints=... --model=FILE [--verbose]\n"
+      "  serve     --db=DIR --workload=FILE --hints=... --model=FILE\n"
+      "            [--host=ADDR] [--port=N (0 = ephemeral)] [--batch-max=N]\n"
+      "            [--queue-cap=N] [--threads=N] [--plan-cache=N]\n"
+      "            [--timeout-ms=N] [--paths=N] [--watch-ms=N]\n"
+      "            Line-delimited JSON over TCP; requests: ping, estimate,\n"
+      "            estimate_batch, generate, generate_status, stats.\n"
+      "            --watch-ms polls --model for changes and hot-swaps the\n"
+      "            reloaded model with zero downtime. SIGINT/SIGTERM drain\n"
+      "            gracefully (in-flight requests are answered) and exit 0\n"
+      "            (see docs/SERVE.md).\n"
       "  stats     --metrics=FILE and/or --trace=FILE\n"
       "            Pretty-prints files written by --metrics-out/--trace-out.\n"
       "global flags (any command):\n"
@@ -673,6 +855,7 @@ int Dispatch(const std::string& cmd, const Flags& flags) {
   if (cmd == "generate") return CmdGenerate(flags);
   if (cmd == "evaluate") return CmdEvaluate(flags);
   if (cmd == "estimate") return CmdEstimate(flags);
+  if (cmd == "serve") return CmdServe(flags);
   if (cmd == "stats") return CmdStats(flags);
   return Usage();
 }
