@@ -16,6 +16,10 @@
 //   --requests=N    requests per client             (default 200; smoke 40)
 //   --pipeline=N    outstanding requests per client (default 4)
 //   --rows=N        census rows, self-hosted mode   (default 40000)
+//   --min-speedup=X fail (exit 1) when the batched/baseline throughput
+//                   ratio lands below X (default 0 = report only); the CI
+//                   gate uses a conservative threshold so a regression to
+//                   per-request dispatch fails the build
 //   --port=N        external daemon port (switches to external mode)
 //   --host=A        external daemon host (default 127.0.0.1)
 //   --workload=F    queries for external mode (workload text format)
@@ -23,6 +27,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -49,7 +54,8 @@ struct Args {
   size_t requests = 200;
   size_t pipeline = 4;
   size_t rows = 40000;
-  int port = 0;  // 0 = self-hosted.
+  double min_speedup = 0;  // 0 = report only.
+  int port = 0;            // 0 = self-hosted.
   std::string host = "127.0.0.1";
   std::string workload;
 };
@@ -74,6 +80,8 @@ Args ParseArgs(int argc, char** argv) {
       args.pipeline = static_cast<size_t>(std::atoll(v));
     } else if (const char* v = value("--rows=")) {
       args.rows = static_cast<size_t>(std::atoll(v));
+    } else if (const char* v = value("--min-speedup=")) {
+      args.min_speedup = std::atof(v);
     } else if (const char* v = value("--port=")) {
       args.port = std::atoi(v);
     } else if (const char* v = value("--host=")) {
@@ -296,6 +304,13 @@ int RunSelfHosted(const Args& args) {
   if (baseline.ok_responses != expected || batched.ok_responses != expected) {
     std::fprintf(stderr, "error: lost responses (want %llu per config)\n",
                  static_cast<unsigned long long>(expected));
+    return 1;
+  }
+  if (args.min_speedup > 0 && speedup < args.min_speedup) {
+    std::fprintf(stderr,
+                 "error: speedup %.2fx below required %.2fx — cross-client "
+                 "batching is not paying for itself\n",
+                 speedup, args.min_speedup);
     return 1;
   }
   return 0;

@@ -1,6 +1,7 @@
 #include "serve/server.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
@@ -45,6 +46,9 @@ struct SamServer::Conn {
   int fd = -1;
   std::mutex write_mu;
   std::atomic<bool> open{true};
+  /// Set by the reader thread as its very last action; once true the thread
+  /// is join-able without blocking, so the accept loop can reap it.
+  std::atomic<bool> reader_done{false};
 
   ~Conn() {
     if (fd >= 0) ::close(fd);
@@ -76,7 +80,15 @@ SamServer::SamServer(const Database* db, const Executor* exec,
       exec_(exec),
       options_(std::move(options)),
       model_(std::move(model)),
-      plan_cache_(options_.plan_cache_capacity) {}
+      plan_cache_(options_.plan_cache_capacity) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  requests_counter_ = reg.GetCounter("sam.serve.requests");
+  responses_counter_ = reg.GetCounter("sam.serve.responses");
+  errors_counter_ = reg.GetCounter("sam.serve.errors");
+  queue_depth_gauge_ = reg.GetGauge("sam.serve.queue_depth");
+  latency_hist_ = reg.GetHistogram("sam.serve.latency_ms");
+  batch_size_hist_ = reg.GetHistogram("sam.serve.batch_size");
+}
 
 SamServer::~SamServer() { Stop(); }
 
@@ -147,8 +159,8 @@ void SamServer::Stop() {
   if (accept_thread_.joinable()) accept_thread_.join();
   {
     std::lock_guard<std::mutex> lock(conns_mu_);
-    for (std::thread& t : reader_threads_) {
-      if (t.joinable()) t.join();
+    for (Reader& r : readers_) {
+      if (r.thread.joinable()) r.thread.join();
     }
   }
 
@@ -174,7 +186,7 @@ void SamServer::Stop() {
   // the threads joined above).
   {
     std::lock_guard<std::mutex> lock(conns_mu_);
-    conns_.clear();
+    readers_.clear();
   }
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
@@ -184,6 +196,7 @@ void SamServer::Stop() {
 
 void SamServer::AcceptLoop() {
   while (!stopping_.load()) {
+    ReapFinishedReaders();
     pollfd pfd{listen_fd_, POLLIN, 0};
     const int r = ::poll(&pfd, 1, 100);
     if (r <= 0) continue;
@@ -191,11 +204,27 @@ void SamServer::AcceptLoop() {
     if (fd < 0) continue;
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    // Non-blocking: reads and writes both go through poll() with deadlines,
+    // so one stuck peer can never park a server thread inside a syscall.
+    ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL, 0) | O_NONBLOCK);
     auto conn = std::make_shared<Conn>();
     conn->fd = fd;
     std::lock_guard<std::mutex> lock(conns_mu_);
-    conns_.push_back(conn);
-    reader_threads_.emplace_back([this, conn] { ReaderLoop(conn); });
+    readers_.push_back(Reader{conn, std::thread()});
+    readers_.back().thread = std::thread([this, conn] { ReaderLoop(conn); });
+  }
+}
+
+void SamServer::ReapFinishedReaders() {
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  for (size_t i = 0; i < readers_.size();) {
+    if (readers_[i].conn->reader_done.load()) {
+      if (readers_[i].thread.joinable()) readers_[i].thread.join();
+      if (i + 1 < readers_.size()) readers_[i] = std::move(readers_.back());
+      readers_.pop_back();
+    } else {
+      ++i;
+    }
   }
 }
 
@@ -207,6 +236,9 @@ void SamServer::ReaderLoop(std::shared_ptr<Conn> conn) {
     const int r = ::poll(&pfd, 1, 100);
     if (r <= 0) continue;
     const ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)) {
+      continue;  // The socket is non-blocking; poll raced with the peer.
+    }
     if (n <= 0) {
       conn->open.store(false);
       break;
@@ -222,43 +254,90 @@ void SamServer::ReaderLoop(std::shared_ptr<Conn> conn) {
     }
     buffer.erase(0, start);
   }
+  conn->reader_done.store(true);  // Last action: the thread is now reapable.
 }
 
 void SamServer::WriteLine(Conn* conn, const std::string& line) {
-  if (!conn->open.load()) return;
   std::string framed = line;
   framed += '\n';
+  WriteFramed(conn, framed);
+}
+
+void SamServer::WriteFramed(Conn* conn, const std::string& framed) {
+  if (conn == nullptr || !conn->open.load()) return;
   std::lock_guard<std::mutex> lock(conn->write_mu);
+  // Deadline-bounded write on a non-blocking socket: a client that stops
+  // reading (full TCP send buffer) is dropped after write_timeout_ms instead
+  // of parking the dispatcher — and every other client's responses — inside
+  // a blocking send().
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(options_.write_timeout_ms);
   size_t sent = 0;
   while (sent < framed.size()) {
     const ssize_t n = ::send(conn->fd, framed.data() + sent,
                              framed.size() - sent, MSG_NOSIGNAL);
-    if (n <= 0) {
-      conn->open.store(false);
-      return;
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
     }
-    sent += static_cast<size_t>(n);
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)) {
+      const auto left = options_.write_timeout_ms <= 0
+                            ? std::chrono::milliseconds(100)
+                            : std::chrono::duration_cast<
+                                  std::chrono::milliseconds>(deadline -
+                                                             Clock::now());
+      if (options_.write_timeout_ms > 0 && left.count() <= 0) {
+        conn->open.store(false);  // Slow consumer: drop, don't stall.
+        return;
+      }
+      pollfd pfd{conn->fd, POLLOUT, 0};
+      ::poll(&pfd, 1,
+             static_cast<int>(std::min<int64_t>(left.count(), 100)));
+      continue;
+    }
+    conn->open.store(false);
+    return;
   }
+}
+
+void SamServer::CountResponse(const Pending& p, bool is_error) {
+  responses_total_.fetch_add(1, std::memory_order_relaxed);
+  responses_counter_->Add(1);
+  if (is_error) {
+    errors_total_.fetch_add(1, std::memory_order_relaxed);
+    errors_counter_->Add(1);
+  }
+  latency_hist_->Observe(MsSince(p.arrival));
 }
 
 void SamServer::Respond(Pending* p, const std::string& line, bool is_error) {
   WriteLine(p->conn.get(), line);
-  responses_total_.fetch_add(1, std::memory_order_relaxed);
-  obs::MetricsRegistry::Global().GetCounter("sam.serve.responses")->Add(1);
-  if (is_error) {
-    errors_total_.fetch_add(1, std::memory_order_relaxed);
-    obs::MetricsRegistry::Global().GetCounter("sam.serve.errors")->Add(1);
+  CountResponse(*p, is_error);
+}
+
+void SamServer::ResponseSink::Append(const std::shared_ptr<Conn>& conn,
+                                     const std::string& line) {
+  for (auto& [c, buf] : by_conn) {
+    if (c == conn) {
+      buf += line;
+      buf += '\n';
+      return;
+    }
   }
-  obs::MetricsRegistry::Global()
-      .GetHistogram("sam.serve.latency_ms")
-      ->Observe(MsSince(p->arrival));
+  by_conn.emplace_back(conn, line + '\n');
+}
+
+void SamServer::RespondBatched(ResponseSink* sink, Pending* p,
+                               const std::string& line, bool is_error) {
+  sink->Append(p->conn, line);
+  CountResponse(*p, is_error);
 }
 
 void SamServer::HandleLine(const std::shared_ptr<Conn>& conn,
                            const std::string& line) {
   const Clock::time_point arrival = Clock::now();
   requests_total_.fetch_add(1, std::memory_order_relaxed);
-  obs::MetricsRegistry::Global().GetCounter("sam.serve.requests")->Add(1);
+  requests_counter_->Add(1);
 
   int64_t id = -1;
   auto parsed = ParseRequest(line, &id);
@@ -279,32 +358,43 @@ void SamServer::HandleLine(const std::shared_ptr<Conn>& conn,
       Respond(&p, StatsResponse(p.request.id, StatsJson()),
               /*is_error=*/false);
       return;
-    case RequestType::kGenerate:
-      Respond(&p, HandleGenerate(p.request), /*is_error=*/false);
+    case RequestType::kGenerate: {
+      bool is_error = false;
+      const std::string response = HandleGenerate(p.request, &is_error);
+      Respond(&p, response, is_error);
       return;
-    case RequestType::kGenerateStatus:
-      Respond(&p, HandleGenerateStatus(p.request), /*is_error=*/false);
+    }
+    case RequestType::kGenerateStatus: {
+      bool is_error = false;
+      const std::string response = HandleGenerateStatus(p.request, &is_error);
+      Respond(&p, response, is_error);
       return;
+    }
     case RequestType::kEstimate:
     case RequestType::kEstimateBatch:
       break;
   }
 
   // Estimates go through the bounded queue to the coalescing dispatcher.
+  // The shed response is written OUTSIDE queue_mu_ — a slow shed client must
+  // not stall the dispatcher and every other reader behind the queue lock.
+  bool shed = false;
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
     if (queue_.size() >= options_.queue_capacity) {
-      Respond(&p,
-              ErrorResponse(p.request.id,
-                            Status::OutOfRange(
-                                "server overloaded: request queue is full")),
-              /*is_error=*/true);
-      return;
+      shed = true;
+    } else {
+      queue_.push_back(std::move(p));
+      queue_depth_gauge_->Set(static_cast<double>(queue_.size()));
     }
-    queue_.push_back(std::move(p));
-    obs::MetricsRegistry::Global()
-        .GetGauge("sam.serve.queue_depth")
-        ->Set(static_cast<double>(queue_.size()));
+  }
+  if (shed) {
+    Respond(&p,
+            ErrorResponse(p.request.id,
+                          Status::OutOfRange(
+                              "server overloaded: request queue is full")),
+            /*is_error=*/true);
+    return;
   }
   queue_cv_.notify_one();
 }
@@ -327,19 +417,20 @@ void SamServer::DispatchLoop() {
         batch.push_back(std::move(queue_.front()));
         queue_.pop_front();
       }
-      obs::MetricsRegistry::Global()
-          .GetGauge("sam.serve.queue_depth")
-          ->Set(static_cast<double>(queue_.size()));
+      queue_depth_gauge_->Set(static_cast<double>(queue_.size()));
     }
     batches_total_.fetch_add(1, std::memory_order_relaxed);
-    obs::MetricsRegistry::Global()
-        .GetHistogram("sam.serve.batch_size")
-        ->Observe(static_cast<double>(batch.size()));
+    batch_size_hist_->Observe(static_cast<double>(batch.size()));
     DispatchBatch(&batch);
   }
 }
 
 void SamServer::DispatchBatch(std::vector<Pending>* batch) {
+  // Dispatcher responses are buffered per connection and flushed with one
+  // send() per client at the end of the round; on a busy server that turns
+  // ~batch_max response syscalls into ~num_clients.
+  ResponseSink sink;
+
   // Shed requests that exceeded their queueing deadline before doing work
   // for them.
   std::vector<Pending*> live;
@@ -347,15 +438,17 @@ void SamServer::DispatchBatch(std::vector<Pending>* batch) {
     const double waited = MsSince(p.arrival);
     if (options_.request_timeout_ms > 0 &&
         waited > static_cast<double>(options_.request_timeout_ms)) {
-      Respond(&p,
-              ErrorResponse(
-                  p.request.id,
-                  Status::OutOfRange(
-                      "deadline exceeded: request waited " +
-                      std::to_string(static_cast<int64_t>(waited)) +
-                      " ms in queue (timeout " +
-                      std::to_string(options_.request_timeout_ms) + " ms)")),
-              /*is_error=*/true);
+      RespondBatched(
+          &sink, &p,
+          ErrorResponse(
+              p.request.id,
+              Status::OutOfRange(
+                  "deadline exceeded: request waited " +
+                  std::to_string(static_cast<int64_t>(waited)) +
+                  " ms in queue (timeout " +
+                  std::to_string(options_.request_timeout_ms) + " ms)")),
+          /*is_error=*/true);
+      p.conn = nullptr;
       continue;
     }
     live.push_back(&p);
@@ -388,7 +481,11 @@ void SamServer::DispatchBatch(std::vector<Pending>* batch) {
   std::vector<std::shared_ptr<const engine::CompiledQuery>> plans;
 
   for (Pending* p : live) {
-    if (p->request.use_model) continue;
+    // Skip requests already answered above (per-request-executor baseline
+    // and compile failures mark themselves with conn == nullptr) — without
+    // this guard the baseline mode executed every request a second time
+    // through the coalesced path, discarding the results.
+    if (p->conn == nullptr || p->request.use_model) continue;
     bool failed = false;
     const size_t first_slot = slots.size();
     for (size_t qi = 0; qi < p->request.queries.size() && !failed; ++qi) {
@@ -399,8 +496,9 @@ void SamServer::DispatchBatch(std::vector<Pending>* batch) {
         auto compiled =
             engine::CompiledQuery::Compile(*db_, exec_->join_graph(), q);
         if (!compiled.ok()) {
-          Respond(p, ErrorResponse(p->request.id, compiled.status()),
-                  /*is_error=*/true);
+          RespondBatched(&sink, p,
+                         ErrorResponse(p->request.id, compiled.status()),
+                         /*is_error=*/true);
           p->conn = nullptr;  // Mark answered.
           failed = true;
           break;
@@ -426,8 +524,9 @@ void SamServer::DispatchBatch(std::vector<Pending>* batch) {
     if (!result.ok()) {
       for (Pending* p : live) {
         if (p->conn == nullptr || p->request.use_model) continue;
-        Respond(p, ErrorResponse(p->request.id, result.status()),
-                /*is_error=*/true);
+        RespondBatched(&sink, p,
+                       ErrorResponse(p->request.id, result.status()),
+                       /*is_error=*/true);
         p->conn = nullptr;
       }
     } else {
@@ -445,7 +544,8 @@ void SamServer::DispatchBatch(std::vector<Pending>* batch) {
         answer[qi] = cards[cursor + qi];
       }
       cursor += answer.size();
-      Respond(p, CardsResponse(p->request.id, answer), /*is_error=*/false);
+      RespondBatched(&sink, p, CardsResponse(p->request.id, answer),
+                     /*is_error=*/false);
       p->conn = nullptr;
     }
   }
@@ -472,26 +572,40 @@ void SamServer::DispatchBatch(std::vector<Pending>* batch) {
       estimates.push_back(est.ValueOrDie());
     }
     if (!st.ok()) {
-      Respond(p, ErrorResponse(p->request.id, st), /*is_error=*/true);
+      RespondBatched(&sink, p, ErrorResponse(p->request.id, st),
+                     /*is_error=*/true);
     } else {
-      Respond(p, EstimatesResponse(p->request.id, estimates),
-              /*is_error=*/false);
+      RespondBatched(&sink, p, EstimatesResponse(p->request.id, estimates),
+                     /*is_error=*/false);
     }
     p->conn = nullptr;
   }
+
+  // One write per connection for everything this round produced.
+  for (auto& [conn, framed] : sink.by_conn) {
+    WriteFramed(conn.get(), framed);
+  }
 }
 
-std::string SamServer::HandleGenerate(const Request& req) {
+std::string SamServer::HandleGenerate(const Request& req, bool* is_error) {
   std::lock_guard<std::mutex> lock(jobs_mu_);
   for (const auto& [id, job] : jobs_) {
     (void)id;
     std::lock_guard<std::mutex> jlock(job->mu);
     if (job->status.state == "queued" || job->status.state == "running") {
+      *is_error = true;
       return ErrorResponse(
           req.id, Status::AlreadyExists("generation job " +
                                         std::to_string(job->status.job) +
                                         " is already running"));
     }
+  }
+  // Every retained job is finished (a live one returned above); cap how many
+  // stay pollable so an always-on daemon doesn't accumulate them forever.
+  while (jobs_.size() >= std::max<size_t>(1, options_.finished_jobs_keep)) {
+    auto oldest = jobs_.begin();
+    if (oldest->second->thread.joinable()) oldest->second->thread.join();
+    jobs_.erase(oldest);
   }
   auto job = std::make_shared<GenJob>();
   job->id = next_job_id_++;
@@ -529,7 +643,8 @@ std::string SamServer::HandleGenerate(const Request& req) {
   return GenerateStartedResponse(req.id, job->id);
 }
 
-std::string SamServer::HandleGenerateStatus(const Request& req) {
+std::string SamServer::HandleGenerateStatus(const Request& req,
+                                            bool* is_error) {
   std::shared_ptr<GenJob> job;
   {
     std::lock_guard<std::mutex> lock(jobs_mu_);
@@ -537,6 +652,7 @@ std::string SamServer::HandleGenerateStatus(const Request& req) {
     if (it != jobs_.end()) job = it->second;
   }
   if (job == nullptr) {
+    *is_error = true;
     return ErrorResponse(req.id, Status::NotFound("no generation job " +
                                                   std::to_string(req.job)));
   }

@@ -20,7 +20,12 @@
 
 namespace sam {
 class ThreadPool;
-}
+namespace obs {
+class Counter;
+class Gauge;
+class Histogram;
+}  // namespace obs
+}  // namespace sam
 
 namespace sam::serve {
 
@@ -45,6 +50,14 @@ struct ServeOptions {
   /// Max time a request may wait in the queue before it is answered with a
   /// timeout error (0 = no timeout).
   int64_t request_timeout_ms = 30000;
+  /// Max time a response write may block on one connection before the
+  /// connection is dropped (0 = block forever). A client that stops reading
+  /// must not be able to stall the dispatcher — and every other client —
+  /// behind a full TCP send buffer.
+  int64_t write_timeout_ms = 5000;
+  /// Finished generation jobs retained for `generate_status` polling; older
+  /// completed jobs are pruned when a new job starts.
+  size_t finished_jobs_keep = 64;
   /// Progressive-sampling paths for model estimates when the request does
   /// not specify `paths` (matches the CLI estimate default).
   size_t estimate_paths_default = 400;
@@ -119,11 +132,36 @@ class SamServer {
   struct Pending;
   struct GenJob;
 
+  /// A connection and the thread reading it; reaped by the accept loop once
+  /// the reader has finished.
+  struct Reader {
+    std::shared_ptr<Conn> conn;
+    std::thread thread;
+  };
+
+  /// Dispatcher responses for one batch, coalesced per connection so each
+  /// client gets one send() per dispatch round instead of one per request.
+  struct ResponseSink {
+    std::vector<std::pair<std::shared_ptr<Conn>, std::string>> by_conn;
+    void Append(const std::shared_ptr<Conn>& conn, const std::string& line);
+  };
+
   std::shared_ptr<const SamModel> ModelSnapshot() const;
   void WriteLine(Conn* conn, const std::string& line);
+  /// Deadline-bounded write of already-framed (newline-terminated) bytes.
+  void WriteFramed(Conn* conn, const std::string& framed);
   void Respond(Pending* p, const std::string& line, bool is_error);
+  /// Batched Respond: records metrics now, buffers the line in `sink` (one
+  /// write per connection when the dispatch round flushes).
+  void RespondBatched(ResponseSink* sink, Pending* p, const std::string& line,
+                      bool is_error);
+  /// Response bookkeeping shared by the immediate and batched paths.
+  void CountResponse(const Pending& p, bool is_error);
 
   void AcceptLoop();
+  /// Joins and discards readers whose connection has finished (accept-loop
+  /// janitor; keeps a long-lived daemon from accumulating dead threads).
+  void ReapFinishedReaders();
   void ReaderLoop(std::shared_ptr<Conn> conn);
   void DispatchLoop();
   void WatchLoop();
@@ -132,8 +170,8 @@ class SamServer {
   void HandleLine(const std::shared_ptr<Conn>& conn, const std::string& line);
   void DispatchBatch(std::vector<Pending>* batch);
 
-  std::string HandleGenerate(const Request& req);
-  std::string HandleGenerateStatus(const Request& req);
+  std::string HandleGenerate(const Request& req, bool* is_error);
+  std::string HandleGenerateStatus(const Request& req, bool* is_error);
 
   const Database* db_;
   const Executor* exec_;
@@ -154,8 +192,7 @@ class SamServer {
   std::thread dispatch_thread_;
   std::thread watch_thread_;
   std::mutex conns_mu_;
-  std::vector<std::thread> reader_threads_;
-  std::vector<std::shared_ptr<Conn>> conns_;
+  std::vector<Reader> readers_;
 
   mutable std::mutex queue_mu_;
   std::condition_variable queue_cv_;
@@ -170,6 +207,15 @@ class SamServer {
   std::atomic<uint64_t> errors_total_{0};
   std::atomic<uint64_t> batches_total_{0};
   std::atomic<uint64_t> model_swaps_{0};
+
+  // Registry handles resolved once (registry pointers are process-lifetime
+  // stable); the per-request paths must not pay a name lookup per event.
+  obs::Counter* requests_counter_;
+  obs::Counter* responses_counter_;
+  obs::Counter* errors_counter_;
+  obs::Gauge* queue_depth_gauge_;
+  obs::Histogram* latency_hist_;
+  obs::Histogram* batch_size_hist_;
 };
 
 }  // namespace sam::serve

@@ -326,6 +326,85 @@ TEST(ServeTest, MalformedRequestsGetErrorsNotCrashes) {
   server.Stop();
 }
 
+TEST(ServeTest, BaselineModeSurvivesCompileFailure) {
+  // Regression: in per_request_executor (baseline) mode the coalescing plan
+  // loop used to re-process requests the baseline had already answered; a
+  // query that fails compilation then called Respond on a null connection
+  // and crashed the dispatcher.
+  ServeFixture f = MakeFixture();
+  ServeOptions sopts;
+  sopts.per_request_executor = true;
+  SamServer server(f.db.get(), f.exec.get(), f.model, sopts);
+  ASSERT_TRUE(server.Start().ok());
+  ServeClient client = Connect(server);
+
+  auto v = client.Call("{\"id\": 1, \"type\": \"estimate\", "
+                       "\"query\": \"martians\\t\\t-1\"}");
+  ASSERT_TRUE(v.ok());
+  EXPECT_FALSE(v.ValueOrDie().Find("ok")->bool_value);
+
+  // The dispatcher survived and still answers work.
+  auto good = client.Call(EstimateLine(2, f.workload[0], "true"));
+  ASSERT_TRUE(good.ok());
+  EXPECT_TRUE(good.ValueOrDie().Find("ok")->bool_value);
+  server.Stop();
+}
+
+TEST(ServeTest, BaselineModeDoesNotDoubleExecute) {
+  // Regression: baseline mode used to run every answered request a second
+  // time through the coalesced path (compiling plans, executing, discarding
+  // the results), inflating the measured batching speedup. With the plan
+  // cache left on, any compilation by the coalesced loop is visible as a
+  // cache miss — there must be none.
+  ServeFixture f = MakeFixture();
+  ServeOptions sopts;
+  sopts.per_request_executor = true;
+  SamServer server(f.db.get(), f.exec.get(), f.model, sopts);
+  ASSERT_TRUE(server.Start().ok());
+  ServeClient client = Connect(server);
+
+  const std::vector<int64_t> want =
+      f.exec->ParallelCardinality(f.workload).MoveValue();
+  for (size_t i = 0; i < 4; ++i) {
+    auto v = client.Call(EstimateLine(static_cast<int64_t>(i), f.workload[i],
+                                      "true"));
+    ASSERT_TRUE(v.ok());
+    const obs::JsonValue* cards = v.ValueOrDie().Find("cards");
+    ASSERT_NE(cards, nullptr);
+    EXPECT_EQ(static_cast<int64_t>(cards->array_items[0].number_value),
+              want[i]);
+  }
+
+  auto stats = client.Call("{\"id\": 0, \"type\": \"stats\"}");
+  ASSERT_TRUE(stats.ok());
+  const obs::JsonValue* cache =
+      stats.ValueOrDie().Find("stats")->Find("plan_cache");
+  ASSERT_NE(cache, nullptr);
+  EXPECT_EQ(cache->Find("misses")->number_value, 0.0);
+  EXPECT_EQ(cache->Find("hits")->number_value, 0.0);
+  server.Stop();
+}
+
+TEST(ServeTest, GenerateErrorsCountAsErrors) {
+  // Regression: generate/generate_status error responses were reported with
+  // is_error=false, so the errors counter undercounted.
+  ServeFixture f = MakeFixture();
+  SamServer server(f.db.get(), f.exec.get(), f.model, ServeOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  ServeClient client = Connect(server);
+
+  auto v = client.Call("{\"id\": 1, \"type\": \"generate_status\", "
+                       "\"job\": 424242}");
+  ASSERT_TRUE(v.ok());
+  EXPECT_FALSE(v.ValueOrDie().Find("ok")->bool_value);
+
+  auto stats = client.Call("{\"id\": 0, \"type\": \"stats\"}");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GE(stats.ValueOrDie().Find("stats")->Find("errors")->number_value,
+            1.0);
+  server.Stop();
+}
+
 TEST(ServeTest, OverloadShedsWithCleanError) {
   ServeFixture f = MakeFixture();
   ServeOptions sopts;
@@ -502,6 +581,61 @@ TEST(ServeTest, GenerateJobRunsToCompletionAndPublishes) {
   auto gen = LoadDatabase(out);
   ASSERT_TRUE(gen.ok()) << gen.status().ToString();
   EXPECT_EQ(gen.ValueOrDie().FindTable("census")->num_rows(), 300u);
+  server.Stop();
+  std::filesystem::remove_all(root);
+}
+
+TEST(ServeTest, FinishedGenerateJobsArePruned) {
+  // An always-on daemon must not accumulate finished jobs forever: with
+  // finished_jobs_keep=1, starting a second job prunes the first, whose
+  // status then reports NotFound.
+  ServeFixture f = MakeFixture(/*rows=*/300, /*foj_size=*/300);
+  ServeOptions sopts;
+  sopts.finished_jobs_keep = 1;
+  SamServer server(f.db.get(), f.exec.get(), f.model, sopts);
+  ASSERT_TRUE(server.Start().ok());
+  ServeClient client = Connect(server);
+
+  const auto root =
+      std::filesystem::temp_directory_path() / "sam_serve_gen_prune";
+  std::filesystem::remove_all(root);
+  std::filesystem::create_directories(root);
+
+  auto start_job = [&](const char* tag) {
+    const std::string out = (root / (std::string("out_") + tag)).string();
+    const std::string work = (root / (std::string("work_") + tag)).string();
+    auto v = client.Call("{\"id\": 1, \"type\": \"generate\", \"out\": \"" +
+                         obs::EscapeJson(out) + "\", \"work\": \"" +
+                         obs::EscapeJson(work) + "\"}");
+    SAM_CHECK_OK(v.status());
+    SAM_CHECK(v.ValueOrDie().Find("ok")->bool_value);
+    return static_cast<int64_t>(v.ValueOrDie().Find("job")->number_value);
+  };
+  auto wait_done = [&](int64_t job) {
+    for (int i = 0; i < 3000; ++i) {  // <= 30 s.
+      auto s = client.Call("{\"id\": 2, \"type\": \"generate_status\", "
+                           "\"job\": " + std::to_string(job) + "}");
+      SAM_CHECK_OK(s.status());
+      SAM_CHECK(s.ValueOrDie().Find("ok")->bool_value);
+      const std::string state = s.ValueOrDie().Find("state")->string_value;
+      if (state == "done") return true;
+      SAM_CHECK(state == "queued" || state == "running");
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    return false;
+  };
+
+  const int64_t first = start_job("a");
+  ASSERT_TRUE(wait_done(first));
+  const int64_t second = start_job("b");  // Prunes `first`.
+
+  auto gone = client.Call("{\"id\": 3, \"type\": \"generate_status\", "
+                          "\"job\": " + std::to_string(first) + "}");
+  ASSERT_TRUE(gone.ok());
+  EXPECT_FALSE(gone.ValueOrDie().Find("ok")->bool_value);
+  EXPECT_EQ(gone.ValueOrDie().Find("code")->string_value, "NotFound");
+
+  ASSERT_TRUE(wait_done(second));  // The new job is unaffected.
   server.Stop();
   std::filesystem::remove_all(root);
 }
