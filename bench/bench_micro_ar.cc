@@ -4,8 +4,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include "ar/batched_estimator.h"
 #include "ar/dps_trainer.h"
 #include "ar/estimator.h"
+#include "common/thread_pool.h"
 #include "ar/made.h"
 #include "common/logging.h"
 #include "datasets/datasets.h"
@@ -188,6 +190,34 @@ void BM_ProgressiveEstimate(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ProgressiveEstimate)->Arg(64)->Arg(256);
+
+// K queries coalesced into one batched call (args: {coalesced, paths});
+// items/sec is queries/sec. Compare against BM_ProgressiveEstimate at the
+// same path count for the fusion win; pass --threads via bench_estimation
+// for the pool-sharded numbers (google-benchmark timing and ThreadPool don't
+// compose cleanly here, so this one stays single-threaded).
+void BM_BatchedProgressiveEstimate(benchmark::State& state) {
+  auto& f = Fixture();
+  const size_t coalesced = static_cast<size_t>(state.range(0));
+  const size_t paths = static_cast<size_t>(state.range(1));
+  BatchedProgressiveEstimator est(f.model.get());
+  std::vector<Query> queries;
+  for (size_t i = 0; i < coalesced; ++i) {
+    queries.push_back(f.train[i % f.train.size()]);
+  }
+  for (auto _ : state) {
+    auto cards = est.EstimateBatch(queries, paths);
+    SAM_CHECK(cards.ok());
+    benchmark::DoNotOptimize(cards.ValueOrDie());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(coalesced));
+}
+BENCHMARK(BM_BatchedProgressiveEstimate)
+    ->Args({1, 64})
+    ->Args({8, 64})
+    ->Args({64, 64})
+    ->Args({8, 256});
 
 void BM_DpsTrainStep(benchmark::State& state) {
   auto& f = Fixture();

@@ -1,0 +1,106 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ar/estimator.h"
+#include "common/result.h"
+
+namespace sam {
+
+class ThreadPool;
+
+/// One query of a coalesced estimation call: a compiled query plus its own
+/// path budget (callers may mix budgets within one batch).
+struct BatchedEstimateItem {
+  const CompiledQuery* query = nullptr;
+  size_t paths = 0;
+};
+
+/// \brief Cross-query batched progressive sampling: interleaves K queries ×
+/// `paths` Monte-Carlo trajectories into shared per-column MADE forwards.
+///
+/// Every pre-existing caller ran `ProgressiveEstimator` one query at a time,
+/// so each estimate was its own sequence of `CondProbs` forwards at
+/// batch = paths (~hundreds of rows) — far below where the SIMD kernels and
+/// the thread pool pay off. This estimator flattens all trajectories of a
+/// call into one query-major row space, shards it into contiguous
+/// `rows_per_block` blocks, and runs each block's full column sweep as one
+/// task on the pool: one `CondProbs` call per (block, column) with per-row
+/// query-interval masks driving selectivity accumulation and value sampling.
+///
+/// ## Determinism contract
+///
+/// Estimates are **bit-identical** to `ProgressiveEstimator` with the same
+/// (model, seed, paths) for every batch composition, ordering, block size,
+/// thread count and kernel backend:
+///  * uniforms come from counter streams addressed by
+///    (seed, ProgressiveStreamKey(query), path, column) — nothing
+///    sequential, so a trajectory's draws cannot depend on its neighbours;
+///  * the kernel layer guarantees per-row forward results are
+///    batch-size-invariant (element-wise vectorisation, fixed accumulator
+///    association, no FMA — see src/linalg/kernels.h), so fusing K queries
+///    into one forward changes no row;
+///  * every sampling step goes through the shared `SampleTrajectoryStep`;
+///  * each query's mean sums its path selectivities sequentially in path
+///    order, never via block-partial sums (FP addition is not associative).
+///
+/// Block scratch (SamplerState + code/weight buffers) is retained across
+/// calls, so a serve dispatcher estimating every round reuses the same
+/// allocations instead of building a fresh estimator and state per request.
+///
+/// Not thread-safe: concurrent Estimate* calls on one instance would race on
+/// the block scratch. The intended parallelism is the `pool` argument, which
+/// shards one call's blocks across workers.
+class BatchedProgressiveEstimator {
+ public:
+  /// `rows_per_block` bounds each shard's CondProbs batch; it trades
+  /// scheduling granularity against per-call overhead and never affects
+  /// results.
+  explicit BatchedProgressiveEstimator(const MadeModel* model,
+                                       uint64_t seed = 4242,
+                                       size_t rows_per_block = 256);
+  ~BatchedProgressiveEstimator();
+
+  BatchedProgressiveEstimator(const BatchedProgressiveEstimator&) = delete;
+  BatchedProgressiveEstimator& operator=(const BatchedProgressiveEstimator&) =
+      delete;
+
+  /// Compiles and estimates `queries` with `paths` trajectories each.
+  /// Element i equals
+  /// `ProgressiveEstimator(model, paths, seed).EstimateCardinality(q_i)`
+  /// bit-for-bit. Fails with InvalidArgument when `paths == 0`.
+  Result<std::vector<double>> EstimateBatch(const std::vector<Query>& queries,
+                                            size_t paths,
+                                            ThreadPool* pool = nullptr);
+
+  /// Pre-compiled form; items may mix path budgets. Fails with
+  /// InvalidArgument on a null query or a zero path budget.
+  Result<std::vector<double>> EstimateCompiledBatch(
+      const std::vector<BatchedEstimateItem>& items, ThreadPool* pool = nullptr);
+
+  uint64_t seed() const { return seed_; }
+  size_t rows_per_block() const { return rows_per_block_; }
+
+ private:
+  struct BlockScratch;
+
+  /// Runs rows [r0, r1) of the flattened trajectory space through all
+  /// columns using `scratch`, writing per-row selectivities into `flat_sel`
+  /// (disjoint ranges per block — safe to run concurrently).
+  void RunBlock(const std::vector<BatchedEstimateItem>& items,
+                const std::vector<uint64_t>& streams,
+                const std::vector<size_t>& row_begin, size_t r0, size_t r1,
+                BlockScratch* scratch, double* flat_sel) const;
+
+  const MadeModel* model_;
+  uint64_t seed_;
+  size_t rows_per_block_;
+  /// Block i of every call uses blocks_[i]; grown on demand, reused across
+  /// calls (ParallelFor runs each index exactly once, so no block is shared
+  /// within a call either).
+  std::vector<std::unique_ptr<BlockScratch>> blocks_;
+};
+
+}  // namespace sam

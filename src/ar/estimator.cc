@@ -3,11 +3,91 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/random.h"
 #include "obs/metrics_registry.h"
 
 namespace sam {
+namespace {
 
-Result<double> ProgressiveEstimator::EstimateCardinality(const Query& q) {
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+uint64_t FnvMix(uint64_t h, const void* data, size_t n) {
+  const auto* bytes = static_cast<const uint8_t*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    h ^= bytes[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace
+
+uint64_t ProgressiveStreamKey(const CompiledQuery& cq) {
+  uint64_t h = kFnvOffset;
+  for (const auto& allow : cq.allow) {
+    // Length-prefix each mask so (empty, 0b1) and (0b1, empty) differ.
+    const uint64_t n = allow.size();
+    h = FnvMix(h, &n, sizeof(n));
+    if (n > 0) h = FnvMix(h, allow.data(), allow.size());
+  }
+  if (!cq.scale_fanout.empty()) {
+    h = FnvMix(h, cq.scale_fanout.data(), cq.scale_fanout.size());
+  }
+  return h;
+}
+
+int32_t SampleTrajectoryStep(const ModelColumn& mc,
+                             const std::vector<uint8_t>& allow,
+                             bool scale_fanout, const double* pr, double u,
+                             double* weights, double* sel,
+                             obs::Counter* dead_fanout) {
+  int64_t pick;
+  if (!allow.empty()) {
+    // One pass builds the masked sampling weights while accumulating the
+    // in-range mass; if that mass is zero the path is dead (selectivity 0)
+    // and any in-range value keeps the trajectory well-defined.
+    double p_in = 0.0;
+    bool any = false;
+    for (size_t j = 0; j < mc.domain_size; ++j) {
+      if (allow[j]) {
+        p_in += pr[j];
+        weights[j] = pr[j];
+        any = any || pr[j] > 0.0;
+      } else {
+        weights[j] = 0.0;
+      }
+    }
+    *sel *= p_in;
+    if (!any) {
+      for (size_t j = 0; j < mc.domain_size; ++j) {
+        weights[j] = allow[j] ? 1.0 : 0.0;
+      }
+    }
+    pick = CategoricalFromUniform(weights, mc.domain_size, u);
+    if (pick < 0) pick = 0;  // Fully-empty mask: arbitrary placeholder.
+  } else {
+    // Unconstrained: sample straight from the probability row.
+    pick = CategoricalFromUniform(pr, mc.domain_size, u);
+    if (pick < 0) pick = 0;
+  }
+  const int32_t code = static_cast<int32_t>(pick);
+  if (mc.kind == ModelColumnKind::kFanout && scale_fanout) {
+    // Guard the division: FanoutValueOf is code+1 > 0 for every valid code
+    // today, but a corrupt or future re-mapped code must not turn the whole
+    // estimate into inf/NaN — kill just this path and count it.
+    const int64_t fv = mc.FanoutValueOf(code);
+    if (fv <= 0) {
+      dead_fanout->Add(1);
+      *sel = 0.0;
+    } else {
+      *sel /= static_cast<double>(fv);
+    }
+  }
+  return code;
+}
+
+Result<double> ProgressiveEstimator::EstimateCardinality(const Query& q) const {
   if (paths_ == 0) {
     // EstimateCompiled would average over zero trajectories and return NaN.
     return Status::InvalidArgument(
@@ -17,7 +97,7 @@ Result<double> ProgressiveEstimator::EstimateCardinality(const Query& q) {
   return EstimateCompiled(cq);
 }
 
-double ProgressiveEstimator::EstimateCompiled(const CompiledQuery& cq) {
+double ProgressiveEstimator::EstimateCompiled(const CompiledQuery& cq) const {
   SAM_CHECK(paths_ > 0) << "zero sample paths would yield a 0/0 NaN estimate";
   static obs::Counter* queries =
       obs::MetricsRegistry::Global().GetCounter("sam.estimator.queries");
@@ -30,6 +110,7 @@ double ProgressiveEstimator::EstimateCompiled(const CompiledQuery& cq) {
   const ModelSchema& schema = model_->schema();
   const size_t n_cols = schema.num_columns();
   const size_t batch = paths_;
+  const uint64_t stream = ProgressiveStreamKey(cq);
 
   MadeModel::SamplerState state = model_->InitState(batch);
   std::vector<double> path_sel(batch, 1.0);
@@ -40,54 +121,15 @@ double ProgressiveEstimator::EstimateCompiled(const CompiledQuery& cq) {
     const ModelColumn& mc = schema.columns()[col];
     const Matrix& probs = model_->CondProbs(state, col);
     const auto& allow = cq.allow[col];
-    const bool constrained = !allow.empty();
+    const bool scale = cq.scale_fanout[col] != 0;
     // Scratch sized once per column; the per-path loop only overwrites it
     // (the old per-row assign() re-filled the vector batch times per column).
-    if (constrained) weights.resize(mc.domain_size);
+    if (!allow.empty()) weights.resize(mc.domain_size);
     for (size_t r = 0; r < batch; ++r) {
-      const double* pr = probs.row(r);
-      if (constrained) {
-        // One pass builds the masked sampling weights while accumulating the
-        // in-range mass; if that mass is zero the path is dead (selectivity
-        // 0) and any in-range value keeps the trajectory well-defined.
-        double p_in = 0.0;
-        bool any = false;
-        for (size_t j = 0; j < mc.domain_size; ++j) {
-          if (allow[j]) {
-            p_in += pr[j];
-            weights[j] = pr[j];
-            any = any || pr[j] > 0.0;
-          } else {
-            weights[j] = 0.0;
-          }
-        }
-        path_sel[r] *= p_in;
-        if (!any) {
-          for (size_t j = 0; j < mc.domain_size; ++j) {
-            weights[j] = allow[j] ? 1.0 : 0.0;
-          }
-        }
-        int64_t pick = rng_.Categorical(weights);
-        if (pick < 0) pick = 0;  // Fully-empty mask: arbitrary placeholder.
-        codes[r] = static_cast<int32_t>(pick);
-      } else {
-        // Unconstrained: sample straight from the probability row.
-        int64_t pick = rng_.Categorical(pr, mc.domain_size);
-        if (pick < 0) pick = 0;
-        codes[r] = static_cast<int32_t>(pick);
-      }
-      if (mc.kind == ModelColumnKind::kFanout && cq.scale_fanout[col]) {
-        // Guard the division: FanoutValueOf is code+1 > 0 for every valid
-        // code today, but a corrupt or future re-mapped code must not turn
-        // the whole estimate into inf/NaN — kill just this path and count it.
-        const int64_t fv = mc.FanoutValueOf(codes[r]);
-        if (fv <= 0) {
-          dead_fanout->Add(1);
-          path_sel[r] = 0.0;
-        } else {
-          path_sel[r] /= static_cast<double>(fv);
-        }
-      }
+      const double u = CounterUniform(seed_, stream, r, col);
+      codes[r] = SampleTrajectoryStep(mc, allow, scale, probs.row(r), u,
+                                      weights.data(), &path_sel[r],
+                                      dead_fanout);
     }
     model_->Observe(&state, col, codes);
   }

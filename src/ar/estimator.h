@@ -5,6 +5,9 @@
 #include "common/result.h"
 
 namespace sam {
+namespace obs {
+class Counter;
+}  // namespace obs
 
 /// \brief Progressive-sampling cardinality estimator over a trained MADE
 /// model (Yang et al.'s progressive sampling with NeuroCard fanout scaling,
@@ -14,24 +17,55 @@ namespace sam {
 /// in-range probability multiplies the path's selectivity and an in-range
 /// value is sampled; fanout columns of relations outside the query divide by
 /// the sampled fanout. The estimate is |FOJ| times the mean path selectivity.
+///
+/// Determinism: uniforms come from counter streams addressed by
+/// (seed, ProgressiveStreamKey(query), path, column), so an estimate is a
+/// pure function of (model, seed, paths, query) — estimating other queries
+/// first, or the same query again, cannot change it. This is also what lets
+/// `BatchedProgressiveEstimator` fuse many queries into shared forwards and
+/// stay bit-identical to this class.
 class ProgressiveEstimator {
  public:
   ProgressiveEstimator(const MadeModel* model, size_t paths = 200,
                        uint64_t seed = 4242)
-      : model_(model), paths_(paths), rng_(seed) {}
+      : model_(model), paths_(paths), seed_(seed) {}
 
   /// Estimated Card(q). The model's sampler weights must be synced. Fails
   /// with InvalidArgument when the estimator was built with zero paths.
-  Result<double> EstimateCardinality(const Query& q);
+  Result<double> EstimateCardinality(const Query& q) const;
 
   /// Estimate from a pre-compiled query (avoids recompilation in sweeps).
   /// Precondition (checked): `paths > 0` — a zero-path mean is 0/0.
-  double EstimateCompiled(const CompiledQuery& cq);
+  double EstimateCompiled(const CompiledQuery& cq) const;
+
+  size_t paths() const { return paths_; }
+  uint64_t seed() const { return seed_; }
 
  private:
   const MadeModel* model_;
   size_t paths_;
-  Rng rng_;
+  uint64_t seed_;
 };
+
+/// RNG-stream key of a compiled query: FNV-1a over its per-column allow
+/// masks and fanout-scaling flags (the cardinality label is excluded, like
+/// the serve plan-cache key). Two structurally identical queries share a
+/// stream; batch position, call order and coalescing never enter the hash.
+uint64_t ProgressiveStreamKey(const CompiledQuery& cq);
+
+/// Advances one Monte-Carlo trajectory through column `mc`: accumulates the
+/// in-range probability mass into `*sel` when the column is constrained
+/// (`allow` non-empty), samples the next code from the (masked) probability
+/// row `pr` using the uniform `u`, and applies NeuroCard fanout inverse
+/// scaling when `scale_fanout` (a non-positive fanout kills the path and
+/// counts in `dead_fanout`). `weights` must hold `mc.domain_size` doubles
+/// when the column is constrained (unused otherwise). Returns the sampled
+/// code. Both estimators route every step through here so the single-query
+/// and batched trajectories cannot drift apart.
+int32_t SampleTrajectoryStep(const ModelColumn& mc,
+                             const std::vector<uint8_t>& allow,
+                             bool scale_fanout, const double* pr, double u,
+                             double* weights, double* sel,
+                             obs::Counter* dead_fanout);
 
 }  // namespace sam

@@ -205,19 +205,27 @@ void MadeModel::SyncSamplerWeights() {
 }
 
 MadeModel::SamplerState MadeModel::InitState(size_t batch) const {
-  SAM_CHECK(sampler_synced_) << "call SyncSamplerWeights() before sampling";
   SamplerState s;
-  s.batch = batch;
+  ResetState(&s, batch);
+  return s;
+}
+
+void MadeModel::ResetState(SamplerState* state, size_t batch) const {
+  SAM_CHECK(sampler_synced_) << "call SyncSamplerWeights() before sampling";
+  state->batch = batch;
   const size_t h1 = options_.hidden_sizes[0];
-  s.pre1 = Matrix(batch, h1);
+  state->pre1.Reshape(batch, h1);
   const double* bias = biases_[0].value().data();
   for (size_t r = 0; r < batch; ++r) {
-    std::copy(bias, bias + h1, s.pre1.row(r));
+    std::copy(bias, bias + h1, state->pre1.row(r));
   }
   if (options_.direct_connections) {
-    s.direct = Matrix(batch, schema_->total_domain());
+    state->direct.Reshape(batch, schema_->total_domain());
+    std::fill(state->direct.data(),
+              state->direct.data() + state->direct.size(), 0.0);
+  } else {
+    state->direct = Matrix();
   }
-  return s;
 }
 
 const Matrix& MadeModel::CondProbs(const SamplerState& state,

@@ -92,6 +92,13 @@ class MadeModel {
 
   SamplerState InitState(size_t batch) const;
 
+  /// Re-initialises `state` for a fresh batch of `batch` rows, reusing its
+  /// allocations: pre1 returns to the first-layer bias, the direct
+  /// accumulator to zero. The batched estimator re-enters with the same
+  /// per-block state every call — fresh InitState matrices would be an
+  /// mmap + page faults + munmap per round at serving batch sizes.
+  void ResetState(SamplerState* state, size_t batch) const;
+
   /// Conditional distribution P(col | observed prefix) for every batch row:
   /// B x domain(col), rows sum to 1. The returned reference points into
   /// `state` scratch — it is valid until the next CondProbs call on the same

@@ -5,6 +5,19 @@
 #include <sstream>
 
 namespace sam {
+namespace {
+
+// Shared subtract-scan so the stateful and counter-driven categorical
+// samplers cannot drift: `r` is already scaled by the total mass.
+int64_t CategoricalScan(const double* weights, size_t n, double r) {
+  for (size_t i = 0; i < n; ++i) {
+    r -= weights[i];
+    if (r <= 0.0) return static_cast<int64_t>(i);
+  }
+  return static_cast<int64_t>(n) - 1;
+}
+
+}  // namespace
 
 std::string Rng::SaveState() const {
   std::ostringstream out;
@@ -65,12 +78,14 @@ int64_t Rng::Categorical(const double* weights, size_t n) {
   double total = 0.0;
   for (size_t i = 0; i < n; ++i) total += weights[i];
   if (total <= 0.0) return -1;
-  double r = Uniform() * total;
-  for (size_t i = 0; i < n; ++i) {
-    r -= weights[i];
-    if (r <= 0.0) return static_cast<int64_t>(i);
-  }
-  return static_cast<int64_t>(n) - 1;
+  return CategoricalScan(weights, n, Uniform() * total);
+}
+
+int64_t CategoricalFromUniform(const double* weights, size_t n, double u) {
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) total += weights[i];
+  if (total <= 0.0) return -1;
+  return CategoricalScan(weights, n, u * total);
 }
 
 }  // namespace sam

@@ -100,4 +100,42 @@ class Rng {
   std::mt19937_64 engine_;
 };
 
+// --- Counter-based (stateless) streams --------------------------------------
+//
+// `Rng` above is sequential: what sample k returns depends on how many
+// samples were drawn before it, so two callers sharing an engine perturb each
+// other. The progressive-sampling estimators instead need random numbers
+// addressable by *coordinates* — (seed, stream, path, column) — so that a
+// trajectory draws the same uniforms no matter which call, batch, or thread
+// evaluates it. These helpers provide exactly that: a bijective 64-bit mix of
+// the coordinates, mapped to a uniform in [0, 1).
+
+/// SplitMix64 finalizer step: a bijective 64-bit mixer with full avalanche
+/// (each input bit flips every output bit with probability ~1/2).
+constexpr uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Uniform double in [0, 1) at coordinates (seed, stream, hi, lo): four
+/// chained Mix64 rounds, top 53 bits scaled by 2^-53. Pure function of its
+/// arguments — evaluation order and thread schedule cannot change it.
+inline double CounterUniform(uint64_t seed, uint64_t stream, uint64_t hi,
+                             uint64_t lo) {
+  uint64_t h = Mix64(seed);
+  h = Mix64(h ^ stream);
+  h = Mix64(h ^ hi);
+  h = Mix64(h ^ lo);
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+/// Samples an index from unnormalised non-negative `weights[0..n)` driven by
+/// a caller-supplied uniform `u` in [0, 1). Same subtract-scan and edge
+/// semantics as `Rng::Categorical` (returns -1 when the total mass is zero),
+/// but stateless — the counter streams' partner for order-independent
+/// sampling.
+int64_t CategoricalFromUniform(const double* weights, size_t n, double u);
+
 }  // namespace sam

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "ar/batched_estimator.h"
+
 namespace sam {
 
 double QError(double estimate, double truth) {
@@ -52,6 +54,22 @@ Result<MetricSummary> QErrorOnDatabase(const Executor& generated_executor,
   for (size_t i = 0; i < workload.size(); ++i) {
     errors.push_back(QError(static_cast<double>(cards[i]),
                             static_cast<double>(workload[i].cardinality)));
+  }
+  return Summarize(std::move(errors));
+}
+
+Result<MetricSummary> QErrorOnModelEstimates(const MadeModel& model,
+                                             const Workload& workload,
+                                             size_t paths, ThreadPool* pool,
+                                             uint64_t seed) {
+  BatchedProgressiveEstimator estimator(&model, seed);
+  SAM_ASSIGN_OR_RETURN(std::vector<double> estimates,
+                       estimator.EstimateBatch(workload, paths, pool));
+  std::vector<double> errors;
+  errors.reserve(workload.size());
+  for (size_t i = 0; i < workload.size(); ++i) {
+    errors.push_back(
+        QError(estimates[i], static_cast<double>(workload[i].cardinality)));
   }
   return Summarize(std::move(errors));
 }

@@ -10,6 +10,9 @@
 
 namespace sam {
 
+class MadeModel;
+class ThreadPool;
+
 /// \brief Q-Error between an estimate and a true cardinality (Moerkotte et
 /// al.), with both sides clamped at 1 so zero cardinalities are defined —
 /// the convention used by the cardinality-estimation literature the paper
@@ -38,6 +41,19 @@ MetricSummary Summarize(std::vector<double> values);
 /// database-recovery metric (A2) when it is an unseen test workload.
 Result<MetricSummary> QErrorOnDatabase(const Executor& generated_executor,
                                        const Workload& workload);
+
+/// \brief Q-Error summary of the MODEL's progressive-sampling estimates on
+/// `workload` against each query's stored true cardinality — the
+/// estimator-quality diagnostic behind `samdb estimate`. The whole workload
+/// runs as ONE cross-query batched estimation call sharded over `pool`
+/// (hundreds of queries per `CondProbs` forward) instead of a serial
+/// per-query loop; results are bit-identical to the per-query estimator with
+/// the same `paths` and `seed`. The model's sampler weights must be synced.
+Result<MetricSummary> QErrorOnModelEstimates(const MadeModel& model,
+                                             const Workload& workload,
+                                             size_t paths,
+                                             ThreadPool* pool = nullptr,
+                                             uint64_t seed = 4242);
 
 /// \brief Cross entropy H(T, T-hat) in bits between the discrete tuple
 /// distributions of an original and a generated relation (Eq. 1), restricted

@@ -14,6 +14,7 @@
 #include <chrono>
 #include <cstring>
 
+#include "ar/batched_estimator.h"
 #include "ar/estimator.h"
 #include "common/thread_pool.h"
 #include "obs/metrics_registry.h"
@@ -88,6 +89,7 @@ SamServer::SamServer(const Database* db, const Executor* exec,
   queue_depth_gauge_ = reg.GetGauge("sam.serve.queue_depth");
   latency_hist_ = reg.GetHistogram("sam.serve.latency_ms");
   batch_size_hist_ = reg.GetHistogram("sam.serve.batch_size");
+  model_batch_size_hist_ = reg.GetHistogram("sam.serve.model_batch_size");
 }
 
 SamServer::~SamServer() { Stop(); }
@@ -550,40 +552,145 @@ void SamServer::DispatchBatch(std::vector<Pending>* batch) {
     }
   }
 
-  // Model estimates: each request gets a fresh estimator seeded identically,
-  // so an answer depends only on the request itself (and the model snapshot
-  // it grabbed) — never on what other clients are doing.
-  for (Pending* p : live) {
-    if (p->conn == nullptr || !p->request.use_model) continue;
-    const std::shared_ptr<const SamModel> model = ModelSnapshot();
-    const size_t paths = p->request.paths > 0
-                             ? static_cast<size_t>(p->request.paths)
-                             : options_.estimate_paths_default;
-    ProgressiveEstimator estimator(model->model(), paths);
-    std::vector<double> estimates;
-    estimates.reserve(p->request.queries.size());
-    Status st = Status::OK();
-    for (const Query& q : p->request.queries) {
-      auto est = estimator.EstimateCardinality(q);
-      if (!est.ok()) {
-        st = est.status();
-        break;
-      }
-      estimates.push_back(est.ValueOrDie());
-    }
-    if (!st.ok()) {
-      RespondBatched(&sink, p, ErrorResponse(p->request.id, st),
-                     /*is_error=*/true);
-    } else {
-      RespondBatched(&sink, p, EstimatesResponse(p->request.id, estimates),
-                     /*is_error=*/false);
-    }
-    p->conn = nullptr;
-  }
+  // Model estimates are coalesced across clients as well — one batched
+  // progressive-sampling call per round on the persistent pool.
+  DispatchModelEstimates(&sink, live);
 
   // One write per connection for everything this round produced.
   for (auto& [conn, framed] : sink.by_conn) {
     WriteFramed(conn.get(), framed);
+  }
+}
+
+void SamServer::DispatchModelEstimates(ResponseSink* sink,
+                                       const std::vector<Pending*>& live) {
+  std::vector<Pending*> wants;
+  for (Pending* p : live) {
+    if (p->conn != nullptr && p->request.use_model) wants.push_back(p);
+  }
+  if (wants.empty()) return;
+
+  if (options_.per_request_executor) {
+    // Benchmark baseline: the pre-batching serve path — a fresh estimator
+    // (and sampler state) per request, queries estimated serially.
+    for (Pending* p : wants) {
+      const std::shared_ptr<const SamModel> model = ModelSnapshot();
+      const size_t paths = p->request.paths > 0
+                               ? static_cast<size_t>(p->request.paths)
+                               : options_.estimate_paths_default;
+      ProgressiveEstimator estimator(model->model(), paths);
+      std::vector<double> estimates;
+      estimates.reserve(p->request.queries.size());
+      Status st = Status::OK();
+      for (const Query& q : p->request.queries) {
+        auto est = estimator.EstimateCardinality(q);
+        if (!est.ok()) {
+          st = est.status();
+          break;
+        }
+        estimates.push_back(est.ValueOrDie());
+      }
+      if (!st.ok()) {
+        RespondBatched(sink, p, ErrorResponse(p->request.id, st),
+                       /*is_error=*/true);
+      } else {
+        RespondBatched(sink, p, EstimatesResponse(p->request.id, estimates),
+                       /*is_error=*/false);
+      }
+      p->conn = nullptr;
+    }
+    return;
+  }
+
+  // One model snapshot for the whole round. The cached batched estimator is
+  // rebuilt only when a hot-swap changed the snapshot; otherwise its block
+  // scratch carries over, so steady-state estimation allocates nothing per
+  // request. (The dispatcher is single-threaded — no lock needed.) Answers
+  // remain bit-identical to a fresh per-request ProgressiveEstimator with
+  // the same paths: the counter-RNG streams and the kernel layer's
+  // batch-size invariance make an estimate independent of what other
+  // requests were coalesced with it.
+  const std::shared_ptr<const SamModel> model = ModelSnapshot();
+  if (model_estimator_ == nullptr || model_estimator_for_ != model) {
+    model_estimator_ =
+        std::make_unique<BatchedProgressiveEstimator>(model->model());
+    model_estimator_for_ = model;
+  }
+
+  // Compile per request so a bad query fails only its own request, then
+  // coalesce the survivors into ONE batched estimation call.
+  struct Slot {
+    Pending* p;
+    size_t first;  ///< Index of the request's first query in `items`.
+    size_t count;
+  };
+  std::vector<Slot> slots;
+  std::deque<CompiledQuery> compiled;  // Stable addresses as it grows.
+  std::vector<BatchedEstimateItem> items;
+  for (Pending* p : wants) {
+    const size_t paths = p->request.paths > 0
+                             ? static_cast<size_t>(p->request.paths)
+                             : options_.estimate_paths_default;
+    if (paths == 0) {
+      RespondBatched(
+          sink, p,
+          ErrorResponse(p->request.id,
+                        Status::InvalidArgument(
+                            "ProgressiveEstimator needs at least one sample "
+                            "path")),
+          /*is_error=*/true);
+      p->conn = nullptr;
+      continue;
+    }
+    const size_t first = items.size();
+    bool failed = false;
+    for (const Query& q : p->request.queries) {
+      auto cq = model->model()->schema().Compile(q);
+      if (!cq.ok()) {
+        RespondBatched(sink, p, ErrorResponse(p->request.id, cq.status()),
+                       /*is_error=*/true);
+        p->conn = nullptr;
+        failed = true;
+        break;
+      }
+      compiled.push_back(cq.MoveValue());
+      items.push_back({&compiled.back(), paths});
+    }
+    if (failed) {
+      items.resize(first);
+      continue;
+    }
+    slots.push_back({p, first, p->request.queries.size()});
+  }
+  if (slots.empty()) return;
+
+  std::vector<double> estimates;
+  if (!items.empty()) {
+    model_batches_total_.fetch_add(1, std::memory_order_relaxed);
+    model_batch_size_hist_->Observe(static_cast<double>(items.size()));
+    auto result = model_estimator_->EstimateCompiledBatch(items, pool_.get());
+    if (!result.ok()) {
+      for (const Slot& slot : slots) {
+        RespondBatched(sink, slot.p,
+                       ErrorResponse(slot.p->request.id, result.status()),
+                       /*is_error=*/true);
+        slot.p->conn = nullptr;
+      }
+      return;
+    }
+    estimates = result.MoveValue();
+  }
+
+  // Scatter contiguous per-request slices back (a zero-query request gets an
+  // empty estimates array, matching the pre-batching behaviour).
+  for (const Slot& slot : slots) {
+    std::vector<double> answer(
+        estimates.begin() + static_cast<ptrdiff_t>(slot.first),
+        estimates.begin() + static_cast<ptrdiff_t>(slot.first + slot.count));
+    RespondBatched(sink, slot.p,
+                   EstimatesResponse(slot.p->request.id, answer),
+                   /*is_error=*/false);
+    slot.p->conn = nullptr;
   }
 }
 
@@ -722,6 +829,7 @@ std::string SamServer::StatsJson() const {
          ", \"responses\": " + std::to_string(responses_total_.load()) +
          ", \"errors\": " + std::to_string(errors_total_.load()) +
          ", \"batches\": " + std::to_string(batches_total_.load()) +
+         ", \"model_batches\": " + std::to_string(model_batches_total_.load()) +
          ", \"plan_cache\": {\"hits\": " + std::to_string(plan_cache_.hits()) +
          ", \"misses\": " + std::to_string(plan_cache_.misses()) +
          ", \"size\": " + std::to_string(plan_cache_.size()) + "}" +

@@ -19,6 +19,7 @@
 #include "serve/protocol.h"
 
 namespace sam {
+class BatchedProgressiveEstimator;
 class ThreadPool;
 namespace obs {
 class Counter;
@@ -169,6 +170,11 @@ class SamServer {
   /// Handles one raw request line from `conn` (parse, fast-path or enqueue).
   void HandleLine(const std::shared_ptr<Conn>& conn, const std::string& line);
   void DispatchBatch(std::vector<Pending>* batch);
+  /// Coalesces every still-unanswered model-estimate request in `live` into
+  /// one `BatchedProgressiveEstimator` call on the persistent pool (or runs
+  /// the pre-batching per-request baseline under `per_request_executor`).
+  void DispatchModelEstimates(ResponseSink* sink,
+                              const std::vector<Pending*>& live);
 
   std::string HandleGenerate(const Request& req, bool* is_error);
   std::string HandleGenerateStatus(const Request& req, bool* is_error);
@@ -182,6 +188,14 @@ class SamServer {
 
   PlanCache plan_cache_;
   std::unique_ptr<ThreadPool> pool_;
+
+  /// Cached cross-query batched estimator, dispatcher-thread only. Rebuilt
+  /// when a hot-swap changes the model snapshot; otherwise its block scratch
+  /// (SamplerStates) persists across dispatch rounds, so serving model
+  /// estimates allocates nothing per request. `model_estimator_for_` keeps
+  /// the snapshot the estimator points into alive.
+  std::unique_ptr<BatchedProgressiveEstimator> model_estimator_;
+  std::shared_ptr<const SamModel> model_estimator_for_;
 
   int listen_fd_ = -1;
   int port_ = 0;
@@ -206,6 +220,7 @@ class SamServer {
   std::atomic<uint64_t> responses_total_{0};
   std::atomic<uint64_t> errors_total_{0};
   std::atomic<uint64_t> batches_total_{0};
+  std::atomic<uint64_t> model_batches_total_{0};
   std::atomic<uint64_t> model_swaps_{0};
 
   // Registry handles resolved once (registry pointers are process-lifetime
@@ -216,6 +231,7 @@ class SamServer {
   obs::Gauge* queue_depth_gauge_;
   obs::Histogram* latency_hist_;
   obs::Histogram* batch_size_hist_;
+  obs::Histogram* model_batch_size_hist_;
 };
 
 }  // namespace sam::serve

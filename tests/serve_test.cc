@@ -14,6 +14,7 @@
 #include <thread>
 #include <vector>
 
+#include "ar/estimator.h"
 #include "datasets/datasets.h"
 #include "engine/executor.h"
 #include "obs/json.h"
@@ -656,6 +657,59 @@ TEST(ServeTest, ModelEstimatesAreDeterministicPerRequest) {
   const double first = ask();
   ASSERT_TRUE(client.Call(EstimateLine(2, f.workload[1], "model")).ok());
   EXPECT_EQ(first, ask());
+  server.Stop();
+}
+
+TEST(ServeTest, CoalescedModelEstimatesMatchPerRequestAnswers) {
+  // Concurrent clients hammering "model" estimates get coalesced by the
+  // dispatcher into shared batched forwards. Whatever the batch composition
+  // each round happens to be, every answer must equal a fresh per-request
+  // ProgressiveEstimator at the same seed and path budget, bit for bit
+  // (responses serialise doubles with %.17g, so the comparison is exact).
+  ServeFixture f = MakeFixture();
+  ServeOptions sopts;
+  sopts.estimate_paths_default = 64;
+  SamServer server(f.db.get(), f.exec.get(), f.model, sopts);
+  ASSERT_TRUE(server.Start().ok());
+
+  std::vector<double> expected(f.workload.size());
+  for (size_t i = 0; i < f.workload.size(); ++i) {
+    ProgressiveEstimator reference(f.model->model(), /*paths=*/64);
+    expected[i] = reference.EstimateCardinality(f.workload[i]).MoveValue();
+  }
+
+  constexpr int kClients = 4;
+  constexpr int kRounds = 3;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      ServeClient client = Connect(server);
+      int64_t id = 1000 * c;
+      for (int round = 0; round < kRounds; ++round) {
+        for (size_t i = 0; i < f.workload.size(); ++i) {
+          auto v = client.Call(EstimateLine(++id, f.workload[i], "model"));
+          SAM_CHECK_OK(v.status());
+          const obs::JsonValue* est = v.ValueOrDie().Find("estimates");
+          SAM_CHECK(est != nullptr && est->array_items.size() == 1);
+          if (est->array_items[0].number_value != expected[i]) {
+            mismatches.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+
+  // The batched path actually ran and is visible in stats.
+  ServeClient client = Connect(server);
+  auto stats = client.Call("{\"id\": 0, \"type\": \"stats\"}");
+  ASSERT_TRUE(stats.ok());
+  const obs::JsonValue* batches =
+      stats.ValueOrDie().Find("stats")->Find("model_batches");
+  ASSERT_NE(batches, nullptr);
+  EXPECT_GE(batches->number_value, 1.0);
   server.Stop();
 }
 

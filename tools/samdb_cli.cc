@@ -35,8 +35,10 @@
 #include <thread>
 #include <vector>
 
+#include "ar/batched_estimator.h"
 #include "ar/estimator.h"
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "common/string_util.h"
 #include "datasets/datasets.h"
 #include "engine/executor.h"
@@ -576,18 +578,26 @@ int CmdEstimate(const Flags& flags) {
   SAM_CLI_ASSIGN(paths, flags.GetInt("paths", 400));
   SAM_CLI_ASSIGN(limit_i, flags.GetInt(
       "limit", static_cast<int64_t>(in.workload.size())));
-  ProgressiveEstimator estimator(sam.ValueOrDie()->model(),
-                                 static_cast<size_t>(paths));
-  const size_t limit = static_cast<size_t>(limit_i);
+  // The whole workload sweeps through the cross-query batched estimator as
+  // one call sharded over the pool (bit-identical to the old per-query loop;
+  // see BatchedProgressiveEstimator's determinism contract).
+  const size_t limit =
+      std::min(static_cast<size_t>(limit_i), in.workload.size());
+  const Workload subset(in.workload.begin(),
+                        in.workload.begin() + static_cast<ptrdiff_t>(limit));
+  BatchedProgressiveEstimator estimator(sam.ValueOrDie()->model());
+  ThreadPool pool;
+  auto ests = estimator.EstimateBatch(subset, static_cast<size_t>(paths),
+                                      &pool);
+  if (!ests.ok()) return FailStatus(ests.status());
   std::vector<double> qerrors;
-  for (size_t i = 0; i < std::min(limit, in.workload.size()); ++i) {
+  for (size_t i = 0; i < limit; ++i) {
     const Query& q = in.workload[i];
-    auto est = estimator.EstimateCardinality(q);
-    if (!est.ok()) return FailStatus(est.status());
-    const double qe = QError(est.ValueOrDie(), static_cast<double>(q.cardinality));
+    const double est = ests.ValueOrDie()[i];
+    const double qe = QError(est, static_cast<double>(q.cardinality));
     qerrors.push_back(qe);
     if (flags.GetBool("verbose")) {
-      std::printf("est=%12.0f true=%12lld qerr=%7.2f  %s\n", est.ValueOrDie(),
+      std::printf("est=%12.0f true=%12lld qerr=%7.2f  %s\n", est,
                   static_cast<long long>(q.cardinality), qe,
                   q.ToString().c_str());
     }
