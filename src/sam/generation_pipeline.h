@@ -38,6 +38,18 @@ struct GenerationPipelineOptions {
   /// is reserved from the memory cap before dispatch (falling back to serial
   /// execution when the cap is tight).
   size_t partition_threads = 0;
+  /// Worker threads for the partition *commit* pipeline (0 = inherit
+  /// `partition_threads`, 1 = fully serial commits and no sample
+  /// pipelining). When parallel, a window of upcoming keyed partitions is
+  /// fully prepared on the thread pool — decode, CSV rendering split at the
+  /// primary-key field, child-emission lists, leftover/summary chunks — and
+  /// the results are committed strictly in plan order, so every spill file,
+  /// checkpoint cursor and published byte is identical for every thread
+  /// count. MADE sampling of FOJ batch b+1 likewise overlaps the spill
+  /// write of batch b. Window and speculative-batch memory is reserved from
+  /// the cap before dispatch (serial fallback when tight), and thread
+  /// counts are deliberately excluded from the resume fingerprint.
+  size_t commit_threads = 0;
   /// Keep spill files and checkpoints after a successful publish (debugging).
   bool keep_work_dir = false;
 };

@@ -3,6 +3,7 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <array>
 #include <cerrno>
 #include <chrono>
@@ -455,6 +456,187 @@ Status ArtifactWriter::Commit(const std::string& path) const {
   append(&size, 8);
   blob += payload_;
   return CommitBlob(path, blob);
+}
+
+Result<StreamingArtifactReader> StreamingArtifactReader::Open(
+    const std::string& path, const std::string& kind) {
+  StreamingArtifactReader r;
+  r.path_ = path;
+  r.fd_ = ::open(path.c_str(), O_RDONLY);
+  if (r.fd_ < 0) {
+    return Status::IOError("cannot open '" + path + "': " +
+                           std::strerror(errno));
+  }
+  char header[kHeaderBytes];
+  size_t got = 0;
+  while (got < kHeaderBytes) {
+    const ssize_t n = ::read(r.fd_, header + got, kHeaderBytes - got);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("read failed for '" + path + "': " +
+                             std::strerror(errno));
+    }
+    if (n == 0) {
+      return Status::IOError("artifact '" + path + "' truncated: " +
+                             std::to_string(got) +
+                             " bytes is smaller than the header");
+    }
+    got += static_cast<size_t>(n);
+  }
+  size_t off = 0;
+  auto read32 = [&]() {
+    uint32_t v;
+    std::memcpy(&v, header + off, 4);
+    off += 4;
+    return v;
+  };
+  if (read32() != kArtifactMagic) {
+    return Status::InvalidArgument("'" + path + "' is not a SAM artifact");
+  }
+  const uint32_t container = read32();
+  if (container != kContainerVersion) {
+    return Status::InvalidArgument("artifact '" + path +
+                                   "' has unsupported container version " +
+                                   std::to_string(container));
+  }
+  std::string file_kind(header + off, kKindBytes);
+  off += kKindBytes;
+  std::string want_kind = kind;
+  want_kind.resize(kKindBytes, '\0');
+  if (file_kind != want_kind) {
+    return Status::InvalidArgument(
+        "artifact '" + path + "' has kind '" +
+        file_kind.substr(0, file_kind.find('\0')) + "', expected '" + kind +
+        "'");
+  }
+  r.version_ = read32();
+  r.expected_crc_ = read32();
+  std::memcpy(&r.payload_size_, header + off, 8);
+  const off_t file_size = ::lseek(r.fd_, 0, SEEK_END);
+  if (file_size < 0 ||
+      ::lseek(r.fd_, static_cast<off_t>(kHeaderBytes), SEEK_SET) < 0) {
+    return Status::IOError("seek failed for '" + path + "': " +
+                           std::strerror(errno));
+  }
+  const uint64_t on_disk = static_cast<uint64_t>(file_size) - kHeaderBytes;
+  if (r.payload_size_ != on_disk) {
+    return Status::IOError("artifact '" + path + "' corrupt: header declares " +
+                           std::to_string(r.payload_size_) +
+                           " payload bytes, file has " +
+                           std::to_string(on_disk));
+  }
+  return r;
+}
+
+StreamingArtifactReader::StreamingArtifactReader(
+    StreamingArtifactReader&& other) noexcept
+    : path_(std::move(other.path_)),
+      fd_(other.fd_),
+      version_(other.version_),
+      expected_crc_(other.expected_crc_),
+      payload_size_(other.payload_size_),
+      consumed_(other.consumed_),
+      crc_(other.crc_) {
+  other.fd_ = -1;
+}
+
+StreamingArtifactReader& StreamingArtifactReader::operator=(
+    StreamingArtifactReader&& other) noexcept {
+  if (this != &other) {
+    Close();
+    path_ = std::move(other.path_);
+    fd_ = other.fd_;
+    version_ = other.version_;
+    expected_crc_ = other.expected_crc_;
+    payload_size_ = other.payload_size_;
+    consumed_ = other.consumed_;
+    crc_ = other.crc_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+StreamingArtifactReader::~StreamingArtifactReader() { Close(); }
+
+void StreamingArtifactReader::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<size_t> StreamingArtifactReader::Read(char* buf, size_t cap) {
+  if (fd_ < 0) {
+    return Status::Internal("StreamingArtifactReader for '" + path_ +
+                            "' is closed (moved from)");
+  }
+  const uint64_t left = payload_size_ - consumed_;
+  if (left == 0 || cap == 0) return static_cast<size_t>(0);
+  const size_t want = static_cast<size_t>(
+      std::min<uint64_t>(left, static_cast<uint64_t>(cap)));
+  size_t got = 0;
+  while (got < want) {
+    const ssize_t n = ::read(fd_, buf + got, want - got);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("read failed for '" + path_ + "': " +
+                             std::strerror(errno));
+    }
+    if (n == 0) {
+      // The size was validated at Open, so a short read means the file
+      // shrank underneath us.
+      return Status::IOError("artifact '" + path_ +
+                             "' truncated while streaming: expected " +
+                             std::to_string(payload_size_) +
+                             " payload bytes, got " +
+                             std::to_string(consumed_ + got));
+    }
+    got += static_cast<size_t>(n);
+  }
+  crc_ = Crc32(buf, got, crc_);
+  consumed_ += got;
+  return got;
+}
+
+Status StreamingArtifactReader::ReadExact(void* out, size_t len) {
+  if (len > payload_size_ - consumed_) {
+    return Status::OutOfRange("artifact read of " + std::to_string(len) +
+                              " bytes overruns payload (" +
+                              std::to_string(payload_size_ - consumed_) +
+                              " bytes left)");
+  }
+  size_t got = 0;
+  while (got < len) {
+    SAM_ASSIGN_OR_RETURN(
+        const size_t n, Read(static_cast<char*>(out) + got, len - got));
+    got += n;
+  }
+  return Status::OK();
+}
+
+Result<uint32_t> StreamingArtifactReader::ReadU32() {
+  uint32_t v;
+  SAM_RETURN_NOT_OK(ReadExact(&v, sizeof(v)));
+  return v;
+}
+
+Result<uint64_t> StreamingArtifactReader::ReadU64() {
+  uint64_t v;
+  SAM_RETURN_NOT_OK(ReadExact(&v, sizeof(v)));
+  return v;
+}
+
+Status StreamingArtifactReader::Finish() const {
+  if (consumed_ != payload_size_) {
+    return Status::IOError("artifact '" + path_ + "' has " +
+                           std::to_string(payload_size_ - consumed_) +
+                           " unread trailing bytes");
+  }
+  if (crc_ != expected_crc_) {
+    return Status::IOError("artifact '" + path_ +
+                           "' corrupt: payload checksum mismatch");
+  }
+  return Status::OK();
 }
 
 Result<ArtifactReader> ArtifactReader::Open(const std::string& path,

@@ -155,6 +155,59 @@ class ArtifactWriter {
   std::string payload_;
 };
 
+/// \brief Streaming counterpart of `ArtifactReader` for payloads too large
+/// to buffer under a memory cap (out-of-core CSV assembly).
+///
+/// `Open` validates the header (magic, kind, container version, declared
+/// payload length against the file size) without touching the payload;
+/// `Read` then hands out payload bytes in caller-sized buffers while
+/// chaining the CRC32 incrementally. `Finish` fails unless every payload
+/// byte was consumed *and* the chained checksum matches the header, so a
+/// caller that streams a chunk into a not-yet-committed output still sees
+/// bit rot as a clean `IOError` before anything is published.
+class StreamingArtifactReader {
+ public:
+  static Result<StreamingArtifactReader> Open(const std::string& path,
+                                              const std::string& kind);
+
+  StreamingArtifactReader(StreamingArtifactReader&& other) noexcept;
+  StreamingArtifactReader& operator=(StreamingArtifactReader&& other) noexcept;
+  StreamingArtifactReader(const StreamingArtifactReader&) = delete;
+  StreamingArtifactReader& operator=(const StreamingArtifactReader&) = delete;
+  ~StreamingArtifactReader();
+
+  uint32_t version() const { return version_; }
+  uint64_t payload_size() const { return payload_size_; }
+  uint64_t remaining() const { return payload_size_ - consumed_; }
+
+  /// Reads up to `cap` payload bytes into `buf`; returns the count actually
+  /// read (0 once the payload is exhausted). A short file — the payload
+  /// ending before the header-declared size — fails with `IOError`.
+  Result<size_t> Read(char* buf, size_t cap);
+
+  /// Fixed-width field reads through the same CRC-chained stream, for
+  /// chunk preambles ahead of a bulk payload.
+  Result<uint32_t> ReadU32();
+  Result<uint64_t> ReadU64();
+
+  /// Verifies full consumption and the chained payload checksum.
+  Status Finish() const;
+
+ private:
+  StreamingArtifactReader() = default;
+
+  Status ReadExact(void* out, size_t len);
+  void Close();
+
+  std::string path_;
+  int fd_ = -1;
+  uint32_t version_ = 0;
+  uint32_t expected_crc_ = 0;
+  uint64_t payload_size_ = 0;
+  uint64_t consumed_ = 0;
+  uint32_t crc_ = 0;
+};
+
 /// \brief Validates and reads back an artifact written by `ArtifactWriter`.
 ///
 /// `Open` performs all integrity checks up front; the typed getters are

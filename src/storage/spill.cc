@@ -185,6 +185,32 @@ Result<RowChunk> RowChunk::Load(const std::string& path) {
   return c;
 }
 
+Result<RowChunkReader> RowChunkReader::Open(const std::string& path) {
+  SAM_ASSIGN_OR_RETURN(StreamingArtifactReader r,
+                       StreamingArtifactReader::Open(path, kSpillKind));
+  if (r.version() != kSpillVersion) {
+    return Status::InvalidArgument("spill chunk '" + path +
+                                   "' has unsupported version " +
+                                   std::to_string(r.version()));
+  }
+  SAM_ASSIGN_OR_RETURN(const uint32_t type, r.ReadU32());
+  if (type != static_cast<uint32_t>(kRowChunk)) {
+    return Status::InvalidArgument(
+        "spill chunk '" + path + "' has type " + std::to_string(type) +
+        ", expected " + std::to_string(static_cast<uint32_t>(kRowChunk)));
+  }
+  RowChunkReader reader(std::move(r));
+  SAM_ASSIGN_OR_RETURN(reader.rows_, reader.reader_.ReadU64());
+  SAM_ASSIGN_OR_RETURN(reader.csv_bytes_, reader.reader_.ReadU64());
+  if (reader.csv_bytes_ != reader.reader_.remaining()) {
+    return Status::IOError(
+        "RowChunk '" + path + "' corrupt: declares " +
+        std::to_string(reader.csv_bytes_) + " CSV bytes, payload has " +
+        std::to_string(reader.reader_.remaining()));
+  }
+  return reader;
+}
+
 Status LeftoverChunk::Save(const std::string& path) const {
   ArtifactWriter w(kSpillKind, kSpillVersion);
   w.PutU32(kLeftoverChunk);

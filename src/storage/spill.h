@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "storage/artifact_io.h"
 
 namespace sam {
 
@@ -121,6 +122,43 @@ struct RowChunk {
 
   Status Save(const std::string& path) const;
   static Result<RowChunk> Load(const std::string& path);
+};
+
+/// \brief Streams the CSV payload of a `RowChunk` without materialising it.
+///
+/// The assembly phase concatenates row chunks whose combined size is the
+/// whole published table, so loading each chunk through `RowChunk::Load`
+/// defeats the memory cap. This reader validates the chunk preamble up
+/// front, hands out CSV bytes in caller-sized buffers, and verifies the
+/// chained payload checksum in `Finish()` — which callers must invoke
+/// *before* committing whatever consumed the bytes, so bit rot still
+/// surfaces as an `IOError` with nothing published.
+class RowChunkReader {
+ public:
+  static Result<RowChunkReader> Open(const std::string& path);
+
+  RowChunkReader(RowChunkReader&&) noexcept = default;
+  RowChunkReader& operator=(RowChunkReader&&) noexcept = default;
+
+  uint64_t rows() const { return rows_; }
+  uint64_t csv_bytes() const { return csv_bytes_; }
+  uint64_t csv_remaining() const { return reader_.remaining(); }
+
+  /// Reads up to `cap` CSV bytes into `buf`; returns 0 once exhausted.
+  Result<size_t> ReadCsv(char* buf, size_t cap) {
+    return reader_.Read(buf, cap);
+  }
+
+  /// Verifies full consumption and the payload checksum.
+  Status Finish() const { return reader_.Finish(); }
+
+ private:
+  explicit RowChunkReader(StreamingArtifactReader reader)
+      : reader_(std::move(reader)) {}
+
+  StreamingArtifactReader reader_;
+  uint64_t rows_ = 0;
+  uint64_t csv_bytes_ = 0;
 };
 
 /// A sub-unit merge set left over by pass 1 of Group-and-Merge; pass 2

@@ -66,6 +66,51 @@ TEST_F(ArtifactIoTest, RoundTripsEveryFieldType) {
   EXPECT_TRUE(reader.ExpectEnd().ok());
 }
 
+TEST_F(ArtifactIoTest, StreamingReaderYieldsExactPayloadAndVerifiesCrc) {
+  const std::string path = TempDir("sam_artifact_stream") + "/a.bin";
+  std::string blob(4099, '\0');  // Deliberately not a buffer-size multiple.
+  for (size_t i = 0; i < blob.size(); ++i) {
+    blob[i] = static_cast<char>('a' + i % 17);
+  }
+  ArtifactWriter w("TESTKIND", 3);
+  w.PutU32(7);
+  w.PutU64(blob.size());
+  w.PutBytes(blob.data(), blob.size());
+  ASSERT_TRUE(w.Commit(path).ok());
+
+  auto opened = StreamingArtifactReader::Open(path, "TESTKIND");
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  StreamingArtifactReader reader = std::move(opened.ValueOrDie());
+  EXPECT_EQ(reader.version(), 3u);
+  EXPECT_EQ(reader.payload_size(), 4u + 8u + blob.size());
+  EXPECT_EQ(reader.ReadU32().ValueOrDie(), 7u);
+  EXPECT_EQ(reader.ReadU64().ValueOrDie(), blob.size());
+  std::string streamed;
+  char buf[256];
+  while (reader.remaining() > 0) {
+    auto got = reader.Read(buf, sizeof(buf));
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    if (got.ValueOrDie() == 0) break;
+    streamed.append(buf, got.ValueOrDie());
+  }
+  EXPECT_EQ(streamed, blob);
+  EXPECT_TRUE(reader.Finish().ok());
+  // Reading past the end is a clean zero, not an error.
+  EXPECT_EQ(reader.Read(buf, sizeof(buf)).ValueOrDie(), 0u);
+}
+
+TEST_F(ArtifactIoTest, StreamingReaderRejectsWrongKindAndTruncation) {
+  const std::string dir = TempDir("sam_artifact_stream_bad");
+  ArtifactWriter w("TESTKIND", 1);
+  w.PutU64(99);
+  ASSERT_TRUE(w.Commit(dir + "/a.bin").ok());
+  EXPECT_FALSE(StreamingArtifactReader::Open(dir + "/a.bin", "OTHRKIND").ok());
+  std::filesystem::copy_file(dir + "/a.bin", dir + "/t.bin");
+  std::filesystem::resize_file(dir + "/t.bin",
+                               std::filesystem::file_size(dir + "/t.bin") - 1);
+  EXPECT_FALSE(StreamingArtifactReader::Open(dir + "/t.bin", "TESTKIND").ok());
+}
+
 TEST_F(ArtifactIoTest, RejectsWrongKindAndGarbage) {
   const std::string dir = TempDir("sam_artifact_kind");
   ArtifactWriter w("KINDONE", 1);

@@ -17,6 +17,7 @@
 #include "datasets/datasets.h"
 #include "engine/executor.h"
 #include "obs/metrics_registry.h"
+#include "sam/generation_checkpoint.h"
 #include "sam/generation_pipeline.h"
 #include "sam/sam_model.h"
 #include "storage/artifact_io.h"
@@ -102,7 +103,8 @@ Result<GenerationRunSummary> RunPipeline(const SamModel& sam,
                                          const std::string& work, bool resume,
                                          uint64_t stop_after_steps = 0,
                                          std::atomic<bool>* stop_flag = nullptr,
-                                         size_t partition_threads = 0) {
+                                         size_t partition_threads = 0,
+                                         size_t commit_threads = 0) {
   GenerationPipelineOptions o;
   o.out_dir = out;
   o.work_dir = work;
@@ -110,8 +112,41 @@ Result<GenerationRunSummary> RunPipeline(const SamModel& sam,
   o.stop_after_steps = stop_after_steps;
   o.stop_flag = stop_flag;
   o.partition_threads = partition_threads;
+  o.commit_threads = commit_threads;
   GenerationPipeline p(&sam, o);
   return p.Run();
+}
+
+/// Byte-compares two pipeline work directories. Spill files must be
+/// memcmp-identical; checkpoints are compared with the single advisory
+/// thread-count-dependent field (`peak_reserved`, the reservation
+/// high-water mark) masked, by reserialising both with it zeroed.
+void ExpectWorkTreesEquivalent(const std::string& a, const std::string& b,
+                               const std::string& scratch,
+                               const std::string& label) {
+  const auto ta = ReadTree(a);
+  const auto tb = ReadTree(b);
+  ASSERT_EQ(ta.size(), tb.size()) << label;
+  for (const auto& [name, bytes] : ta) {
+    const auto it = tb.find(name);
+    ASSERT_NE(it, tb.end()) << label << ": '" << name << "' only in " << a;
+    if (name.rfind("genckpt_", 0) == 0) {
+      auto ca = GenerationCheckpoint::Load(a + "/" + name);
+      auto cb = GenerationCheckpoint::Load(b + "/" + name);
+      ASSERT_TRUE(ca.ok()) << label << ": " << ca.status().ToString();
+      ASSERT_TRUE(cb.ok()) << label << ": " << cb.status().ToString();
+      ca.ValueOrDie().peak_reserved = 0;
+      cb.ValueOrDie().peak_reserved = 0;
+      ASSERT_TRUE(ca.ValueOrDie().Save(scratch + "/mask_a.ckpt").ok());
+      ASSERT_TRUE(cb.ValueOrDie().Save(scratch + "/mask_b.ckpt").ok());
+      const auto masked = ReadTree(scratch);
+      EXPECT_EQ(masked.at("mask_a.ckpt"), masked.at("mask_b.ckpt"))
+          << label << ": checkpoint '" << name
+          << "' differs beyond peak_reserved";
+    } else {
+      EXPECT_EQ(bytes, it->second) << label << ": '" << name << "' differs";
+    }
+  }
 }
 
 TEST(GenerationPipelineTest, CompletesPublishesAndCleansUp) {
@@ -347,6 +382,100 @@ TEST(ParallelPartitionTest, PrefetchIsByteIdenticalAcrossThreadCounts) {
     EXPECT_LE(r.ValueOrDie().peak_reserved, tight.memory_cap_bytes)
         << "threads=" << threads;
     EXPECT_EQ(ReadTree(out), golden) << "threads=" << threads;
+  }
+}
+
+/// Multi-step chain fixture for the parallel-commit sweeps: enough FOJ
+/// samples for a partition fan-out of 2 under the cap, but a large batch so
+/// the whole plan stays below ~20 steps and a kill-at-every-step sweep is
+/// affordable.
+std::unique_ptr<SamModel> MakeParallelCommitModel(const Database& db) {
+  SamOptions opt;
+  opt.foj_samples = 8192;
+  opt.generation_batch = 2048;         // 4 sample steps.
+  opt.memory_cap_bytes = 4ll << 20;    // Partition fan-out 2.
+  return MakeChainModel(db, opt);
+}
+
+// Suite name contains "Parallel" so the TSan CI job picks it up.
+TEST(ParallelCommitTest, KillAtEveryStepIsByteIdenticalAcrossCommitThreads) {
+  const Database db = MakeChainDatabase();
+  const auto sam = MakeParallelCommitModel(db);
+  const std::string root = TempDir("sam_pipe_parallel_commit");
+  std::filesystem::create_directories(root + "/scratch");
+
+  // Golden: fully serial commits (commit_threads = 1 also disables the
+  // sample pipelining and the prepared-plan path).
+  auto serial = RunPipeline(*sam, root + "/golden", root + "/gwork", false, 0,
+                            nullptr, /*partition_threads=*/1,
+                            /*commit_threads=*/1);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  ASSERT_TRUE(serial.ValueOrDie().completed);
+  const auto golden = ReadTree(root + "/golden");
+  const uint64_t steps = serial.ValueOrDie().steps_total;
+  ASSERT_GT(steps, 10u);
+
+  // Full parallel run publishes identical bytes — and the commit-window
+  // gauge proves the prepared-plan path actually executed.
+  obs::EnableMetrics(true);
+  auto full = RunPipeline(*sam, root + "/out_full", root + "/w_full", false, 0,
+                          nullptr, /*partition_threads=*/0,
+                          /*commit_threads=*/4);
+  obs::EnableMetrics(false);
+  ASSERT_TRUE(full.ok()) << full.status().ToString();
+  EXPECT_EQ(ReadTree(root + "/out_full"), golden);
+  EXPECT_GE(obs::MetricsRegistry::Global()
+                .GetGauge("sam.gen.commit_parallelism")
+                ->Value(),
+            2.0);
+
+  // Kill at every step under both thread counts: the surviving work dirs
+  // (spill files + checkpoints) must match, and resuming the parallel run
+  // must still publish the golden bytes.
+  for (uint64_t s = 1; s < steps; ++s) {
+    const std::string w1 = root + "/w1_" + std::to_string(s);
+    const std::string w4 = root + "/w4_" + std::to_string(s);
+    const std::string out = root + "/out_" + std::to_string(s);
+    auto p1 = RunPipeline(*sam, root + "/unused_out", w1, false, s, nullptr, 1,
+                          /*commit_threads=*/1);
+    ASSERT_TRUE(p1.ok()) << "stop=" << s << ": " << p1.status().ToString();
+    auto p4 = RunPipeline(*sam, out, w4, false, s, nullptr, 0,
+                          /*commit_threads=*/4);
+    ASSERT_TRUE(p4.ok()) << "stop=" << s << ": " << p4.status().ToString();
+    ExpectWorkTreesEquivalent(w1, w4, root + "/scratch",
+                              "stop=" + std::to_string(s));
+
+    auto rest = RunPipeline(*sam, out, w4, /*resume=*/true, 0, nullptr, 0,
+                            /*commit_threads=*/4);
+    ASSERT_TRUE(rest.ok()) << "stop=" << s << ": " << rest.status().ToString();
+    ASSERT_TRUE(rest.ValueOrDie().completed) << "stop=" << s;
+    EXPECT_EQ(ReadTree(out), golden) << "stop=" << s;
+    std::filesystem::remove_all(w1);
+    std::filesystem::remove_all(out);
+  }
+}
+
+TEST(ParallelCommitTest, MemoryCapHoldsForEveryThreadCount) {
+  // Property: window + speculative-sample reservations must never push the
+  // budget past the cap, whatever the parallelism — the budget itself is the
+  // oracle (every structure reserves before allocating, and Reserve fails
+  // hard past the cap), so peak <= cap proves the parallel paths stayed
+  // within their pre-reserved envelopes.
+  const Database db = MakeChainDatabase();
+  const auto sam = MakeParallelCommitModel(db);
+  const int64_t cap = sam->options().memory_cap_bytes;
+  const std::string root = TempDir("sam_pipe_parallel_cap");
+
+  size_t variant = 0;
+  for (size_t ct : {size_t{1}, size_t{2}, size_t{4}, size_t{0}}) {
+    const std::string suffix = std::to_string(variant++);
+    auto r = RunPipeline(*sam, root + "/out" + suffix, root + "/w" + suffix,
+                         false, 0, nullptr, /*partition_threads=*/0,
+                         /*commit_threads=*/ct);
+    ASSERT_TRUE(r.ok()) << "ct=" << ct << ": " << r.status().ToString();
+    ASSERT_TRUE(r.ValueOrDie().completed) << "ct=" << ct;
+    EXPECT_GT(r.ValueOrDie().peak_reserved, 0) << "ct=" << ct;
+    EXPECT_LE(r.ValueOrDie().peak_reserved, cap) << "ct=" << ct;
   }
 }
 

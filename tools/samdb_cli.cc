@@ -432,6 +432,12 @@ int CmdGenerate(const Flags& flags) {
   if (partition_threads < 0) {
     return Fail("generate: --partition-threads must be >= 0");
   }
+  int64_t commit_threads = 0;
+  SAM_CLI_ASSIGN(commit_threads,
+                 flags.GetInt("commit-threads", partition_threads));
+  if (commit_threads < 0) {
+    return Fail("generate: --commit-threads must be >= 0");
+  }
 
   auto inputs = LoadPipelineInputs(flags);
   if (!inputs.ok()) return FailStatus(inputs.status());
@@ -479,6 +485,7 @@ int CmdGenerate(const Flags& flags) {
   popts.stop_after_steps = static_cast<uint64_t>(stop_after_steps);
   popts.checkpoint_keep = static_cast<size_t>(ckpt_keep);
   popts.partition_threads = static_cast<size_t>(partition_threads);
+  popts.commit_threads = static_cast<size_t>(commit_threads);
   popts.keep_work_dir = flags.GetBool("keep-work");
   std::signal(SIGINT, HandleStopSignal);
   std::signal(SIGTERM, HandleStopSignal);
@@ -830,11 +837,16 @@ int Usage() {
       "            [--checkpoint-dir=DIR] [--checkpoint-every=N]\n"
       "            [--checkpoint-keep=N] [--resume] [--memory-cap=MiB]\n"
       "            [--stop-after-steps=N] [--keep-work]\n"
+      "            [--partition-threads=N] [--commit-threads=N]\n"
       "            Any of the bracketed crash-safety flags selects the\n"
       "            out-of-core pipeline: spill files + checkpoints live in\n"
       "            --checkpoint-dir (default OUT.work), SIGINT/SIGTERM\n"
       "            checkpoint and exit 0, and --resume continues to a\n"
       "            byte-identical database (see docs/GENERATION.md).\n"
+      "            --partition-threads parallelises partition prefetch and\n"
+      "            --commit-threads the commit pipeline (0 = hardware, 1 =\n"
+      "            serial; commit-threads defaults to partition-threads).\n"
+      "            Output bytes are identical for every thread count.\n"
       "  evaluate  --original=DIR --generated=DIR --workload=FILE [--latency]\n"
       "  estimate  --db=DIR --workload=FILE --hints=... --model=FILE [--verbose]\n"
       "  serve     --db=DIR --workload=FILE --hints=... --model=FILE\n"
